@@ -1,0 +1,45 @@
+"""Benchmark-suite plumbing.
+
+Experiments print their result tables through the ``table_reporter``
+fixture; tables are echoed in the terminal summary (so the plain
+``pytest benchmarks/ --benchmark-only`` transcript contains all data) and
+written to ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_collected: list[tuple[str, str]] = []
+
+
+class TableReporter:
+    """Collects rendered tables for the terminal summary and result files."""
+
+    def record(self, experiment: str, text: str) -> None:
+        _collected.append((experiment, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{experiment}.txt"
+        with path.open("a") as handle:
+            handle.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session")
+def table_reporter():
+    # Start each session with fresh result files.
+    if _RESULTS_DIR.exists():
+        for path in _RESULTS_DIR.glob("*.txt"):
+            path.unlink()
+    return TableReporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.write_sep("=", "experiment tables")
+    for experiment, text in _collected:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,31 @@
+"""E10 — Section 4.1: Echo simulates collision detection and
+Binary-Selection selects in O(log m) Echo segments.
+
+Logic in :mod:`repro.experiments.e10_echo`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def test_e10(benchmark, table_reporter):
+    report = get_experiment("e10")()
+    for table in report.tables:
+        table_reporter.record("e10", table)
+    table_reporter.record(
+        "e10",
+        "\n".join(
+            f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+            + (f"  ({claim.details})" if claim.details else "")
+            for claim in report.claims
+        ),
+    )
+    assert report.ok, report.render()
+
+    from repro.core import SelectionDriver, simulate_selection
+
+    benchmark.pedantic(
+        lambda: simulate_selection(SelectionDriver(4096), {100, 2000, 4000}),
+        rounds=5, iterations=10,
+    )

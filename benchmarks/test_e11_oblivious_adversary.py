@@ -1,0 +1,32 @@
+"""E11 (extension) — oblivious-schedule lower bounds via the pair-layer
+adversary: round-robin pays Theta(r) per layer, selective families ~log n.
+
+Logic in :mod:`repro.experiments.e11_oblivious_adversary`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def test_e11(benchmark, table_reporter):
+    report = get_experiment("e11")()
+    for table in report.tables:
+        table_reporter.record("e11", table)
+    table_reporter.record(
+        "e11",
+        "\n".join(
+            f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+            + (f"  ({claim.details})" if claim.details else "")
+            for claim in report.claims
+        ),
+    )
+    assert report.ok, report.render()
+
+    from repro.adversary.oblivious import ObliviousLayerAdversary
+    from repro.baselines import RoundRobinBroadcast
+
+    benchmark.pedantic(
+        lambda: ObliviousLayerAdversary(RoundRobinBroadcast(255), 256, 8).build(),
+        rounds=3, iterations=1,
+    )

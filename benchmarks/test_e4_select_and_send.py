@@ -1,0 +1,33 @@
+"""E4 — Theorem 3: Select-and-Send in O(n log n) on any network.
+
+Logic in :mod:`repro.experiments.e4_select_and_send`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def test_e4(benchmark, table_reporter):
+    report = get_experiment("e4")()
+    for table in report.tables:
+        table_reporter.record("e4", table)
+    table_reporter.record(
+        "e4",
+        "\n".join(
+            f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+            + (f"  ({claim.details})" if claim.details else "")
+            for claim in report.claims
+        ),
+    )
+    assert report.ok, report.render()
+
+    from repro.core import SelectAndSend
+    from repro.sim import run_broadcast
+    from repro.topology import random_tree
+
+    net = random_tree(256, seed=5)
+    benchmark.pedantic(
+        lambda: run_broadcast(net, SelectAndSend(), require_completion=True),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""E5 — Theorem 4: O(n + D log n) on complete layered networks,
+refuting the claimed undirected Omega(n log D) bound of Clementi et al.
+
+Logic in :mod:`repro.experiments.e5_complete_layered`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def test_e5(benchmark, table_reporter):
+    report = get_experiment("e5")()
+    for table in report.tables:
+        table_reporter.record("e5", table)
+    table_reporter.record(
+        "e5",
+        "\n".join(
+            f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+            + (f"  ({claim.details})" if claim.details else "")
+            for claim in report.claims
+        ),
+    )
+    assert report.ok, report.render()
+
+    from repro.core import CompleteLayeredBroadcast
+    from repro.sim import run_broadcast
+    from repro.topology import uniform_complete_layered
+
+    net = uniform_complete_layered(1024, 128)
+    benchmark.pedantic(
+        lambda: run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True),
+        rounds=3, iterations=1,
+    )

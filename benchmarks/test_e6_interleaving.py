@@ -1,0 +1,36 @@
+"""E6 — Section 4.2 remark: round-robin O(nD) vs Select-and-Send
+O(n log n); interleaving gives O(n min(D, log n)).
+
+Logic in :mod:`repro.experiments.e6_interleaving`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def test_e6(benchmark, table_reporter):
+    report = get_experiment("e6")()
+    for table in report.tables:
+        table_reporter.record("e6", table)
+    table_reporter.record(
+        "e6",
+        "\n".join(
+            f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+            + (f"  ({claim.details})" if claim.details else "")
+            for claim in report.claims
+        ),
+    )
+    assert report.ok, report.render()
+
+    from repro.baselines import InterleavedBroadcast, RoundRobinBroadcast
+    from repro.core import SelectAndSend
+    from repro.sim import run_broadcast
+    from repro.topology import uniform_complete_layered
+
+    net = uniform_complete_layered(256, 16, relabel_seed=9)
+    algo = InterleavedBroadcast(RoundRobinBroadcast(net.r), SelectAndSend())
+    benchmark.pedantic(
+        lambda: run_broadcast(net, algo, require_completion=True),
+        rounds=3, iterations=1,
+    )

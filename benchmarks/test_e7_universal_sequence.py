@@ -1,0 +1,31 @@
+"""E7 — Lemma 1: universal sequences exist with period < 3D and the
+U1/U2 recurrence conditions hold in the regime.
+
+Logic in :mod:`repro.experiments.e7_universal_sequence`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def test_e7(benchmark, table_reporter):
+    report = get_experiment("e7")()
+    for table in report.tables:
+        table_reporter.record("e7", table)
+    table_reporter.record(
+        "e7",
+        "\n".join(
+            f"[{'PASS' if claim.holds else 'FAIL'}] {claim.description}"
+            + (f"  ({claim.details})" if claim.details else "")
+            for claim in report.claims
+        ),
+    )
+    assert report.ok, report.render()
+
+    from repro.combinatorics import build_universal_sequence
+
+    benchmark.pedantic(
+        lambda: build_universal_sequence(65536, 16384),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,51 @@
+"""Engine throughput benchmarks (library performance tracking).
+
+Not a paper claim — these keep the two engines honest as software: the
+reference engine must sustain interactive protocols on thousands of
+nodes, and the fast engine must make the E1/E2 parameter sweeps cheap.
+pytest-benchmark records wall times so regressions show up in CI diffs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BGIBroadcast, RoundRobinBroadcast
+from repro.core import SelectAndSend
+from repro.sim import run_broadcast, run_broadcast_fast
+from repro.topology import gnp_connected, km_hard_layered
+
+
+def test_reference_engine_interactive_protocol(benchmark):
+    """Select-and-Send on a 300-node G(n, p): dict-driven protocols."""
+    net = gnp_connected(300, 0.03, seed=9)
+    result = benchmark(lambda: run_broadcast(net, SelectAndSend(), require_completion=True))
+    assert result.completed
+
+
+def test_reference_engine_oblivious_protocol(benchmark):
+    """Round-robin on the same network through the per-node engine."""
+    net = gnp_connected(300, 0.03, seed=9)
+    result = benchmark(lambda: run_broadcast(net, RoundRobinBroadcast(net.r)))
+    assert result.completed
+
+
+def test_fast_engine_randomized_sweep_unit(benchmark):
+    """One KM-hard BGI run at n=2048 — the unit of the E1/E2 sweeps."""
+    net = km_hard_layered(2048, 128, seed=3)
+    result = benchmark(lambda: run_broadcast_fast(net, BGIBroadcast(net.r), seed=1))
+    assert result.completed
+
+
+def test_fast_engine_setup_cost(benchmark):
+    """Adjacency build + first slot: the fixed cost per run."""
+    from repro.sim.fast import FastEngine
+
+    net = km_hard_layered(2048, 128, seed=3)
+    algo = RoundRobinBroadcast(net.r)
+
+    def setup_and_step():
+        engine = FastEngine(net, algo, seed=0)
+        engine.run_step()
+        return engine
+
+    engine = benchmark(setup_and_step)
+    assert engine.step == 1

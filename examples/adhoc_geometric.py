@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario: flooding an alert through an ad hoc sensor field.
+
+The paper's motivating setting: transmitter-receiver devices scattered in
+the field, no base station, no topology knowledge, no collision detection.
+A corner node (the source) must flood an alert to every sensor.
+
+This example compares all broadcasting strategies the library implements
+on the same unit-disk network, from the weakest knowledge model (ad hoc)
+to the strongest (full topology), and reports both latency (slots) and —
+for the randomized schemes — the spread over random coin flips.
+
+Run:  python examples/adhoc_geometric.py
+"""
+
+from repro import repeat_broadcast, run_broadcast, topology
+from repro.analysis import render_table, summarize
+from repro.baselines import (
+    BGIBroadcast,
+    CentralizedGreedySchedule,
+    InterleavedBroadcast,
+    KnownNeighborsDFS,
+    RoundRobinBroadcast,
+)
+from repro.core import OptimalRandomizedBroadcasting, SelectAndSend
+
+
+def main() -> None:
+    net = topology.random_geometric(200, seed=11)
+    print(net.describe())
+    print()
+
+    rows = []
+
+    # Randomized, ad hoc (no topology knowledge at all).
+    for algo in [
+        OptimalRandomizedBroadcasting(net.r, stage_constant=8),
+        BGIBroadcast(net.r),
+    ]:
+        stats = summarize([r.time for r in repeat_broadcast(net, algo, runs=15)])
+        rows.append([algo.name, "ad hoc", f"{stats.mean:.0f}",
+                     f"[{stats.minimum:.0f}, {stats.maximum:.0f}]"])
+
+    # Deterministic, ad hoc.
+    for algo in [
+        SelectAndSend(),
+        RoundRobinBroadcast(net.r),
+        InterleavedBroadcast(RoundRobinBroadcast(net.r), SelectAndSend()),
+    ]:
+        result = run_broadcast(net, algo, require_completion=True)
+        rows.append([algo.name, "ad hoc", result.time, "-"])
+
+    # Stronger knowledge models, for calibration.
+    result = run_broadcast(net, KnownNeighborsDFS(net), require_completion=True)
+    rows.append([result.algorithm, "knows neighbours", result.time, "-"])
+    result = run_broadcast(net, CentralizedGreedySchedule(net), require_completion=True)
+    rows.append([result.algorithm, "full topology", result.time, "-"])
+
+    print(
+        render_table(
+            ["algorithm", "knowledge", "slots (mean)", "range"],
+            rows,
+            title=f"Alert flooding over {net.n} sensors, radius D={net.radius}",
+        )
+    )
+    print()
+    print(
+        "Reading the table: the paper's randomized algorithm approaches the\n"
+        "full-topology schedule despite knowing nothing about the network;\n"
+        "deterministic ad hoc algorithms pay the Section 3 lower bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: executing the paper's lower bound against your own algorithm.
+
+Section 3 of the paper is constructive: given ANY deterministic
+broadcasting algorithm, it builds a network ``G_A`` on which the algorithm
+is provably slow.  This library makes that construction executable — this
+example runs it against two algorithms and *verifies* the proof's central
+claim (Lemma 9): the real execution on the finished network reproduces,
+slot for slot, exactly the transmissions the adversary assumed while
+building it.
+
+Run:  python examples/adversarial_lower_bound.py
+"""
+
+from repro.adversary import LowerBoundConstruction, verify_construction
+from repro.analysis import render_table
+from repro.baselines import RoundRobinBroadcast
+from repro.core import SelectAndSend
+
+
+def attack(name, factory, n, d):
+    construction = LowerBoundConstruction(factory(), n, d)
+    result = construction.build()
+    report = verify_construction(result, factory())
+    print(f"--- {name} on n={n}, D={d} ---")
+    print(f"  stage parameters: k={construction.k}, window W={construction.window}")
+    print(f"  constructed {len(result.stages)} odd layers + final layer "
+          f"of {len(result.final_layer)} nodes; radius {result.network.radius}")
+    print(f"  Lemma 9 (abstract == real histories over {result.horizon} slots): "
+          f"{'VERIFIED' if report.histories_match else 'FAILED'}")
+    print(f"  node D/2-1 provably silent before slot {result.silence_floor}; "
+          f"respected in the real run: {report.silence_respected}")
+    print(f"  real broadcast time on G_A: {report.real_completion_time} slots")
+    print()
+    return [name, n, d, construction.window, result.silence_floor,
+            report.real_completion_time]
+
+
+def main() -> None:
+    rows = [
+        attack("round-robin", lambda: RoundRobinBroadcast(511), 512, 16),
+        attack("select-and-send", SelectAndSend, 512, 16),
+        attack("round-robin", lambda: RoundRobinBroadcast(1023), 1024, 16),
+    ]
+    print(
+        render_table(
+            ["algorithm", "n", "D", "W", "silence floor", "time on G_A"],
+            rows,
+            title="Summary: every deterministic algorithm gets its own hard network",
+        )
+    )
+    print()
+    print(
+        "The paper's Theorem 2 concludes Omega(n log n / log(n/D)) from\n"
+        "(D/2 - 1) jamming windows; at laptop-scale n the structural claim\n"
+        "(exact history equivalence + silence floors) is what is verified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Walkthrough: watch Select-and-Send coordinate without collision detection.
+
+Runs the Section 4.2 algorithm on a small network with a full channel
+trace and prints every slot: who transmitted, who received, where
+collisions happened — making the Echo trick visible.  Collisions are not
+failures here; they are *measurements* (a collision in Echo slot 1 plus a
+collision in Echo slot 2 tells the token holder "two or more unvisited
+neighbours").
+
+Run:  python examples/token_walkthrough.py
+"""
+
+from repro.core import SelectAndSend
+from repro.sim import SynchronousEngine, TraceLevel
+from repro.sim.network import RadioNetwork
+
+
+def main() -> None:
+    # A small bowtie: the source with two wings of unvisited neighbours.
+    #        1 - 3
+    #      / |
+    #    0   |
+    #      \ |
+    #        2 - 4
+    net = RadioNetwork.undirected(
+        range(5), [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)]
+    )
+    print(net.describe())
+    print()
+
+    engine = SynchronousEngine(net, SelectAndSend(), trace_level=TraceLevel.FULL)
+    engine.run(300, stop_when_informed=False)
+
+    print(engine.trace.format_timeline(max_steps=80))
+    print()
+    print(f"all informed after {engine.completion_time} slots; "
+          f"DFS token visited every node: "
+          f"{all(p.visited for p in engine.protocols.values())}")
+    print(f"total transmissions: {engine.trace.total_transmissions()}, "
+          f"collision events used as Echo measurements: "
+          f"{engine.trace.total_collisions()}")
+
+
+if __name__ == "__main__":
+    main()

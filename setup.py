@@ -1,0 +1,4 @@
+"""Legacy shim: enables `pip install -e . --no-use-pep517` on hosts without the wheel package."""
+from setuptools import setup
+
+setup()

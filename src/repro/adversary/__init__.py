@@ -1,0 +1,39 @@
+"""Executable lower bound of Section 3: the adversarial network G_A."""
+
+from .construction import (
+    AdversaryError,
+    AdversaryResult,
+    LowerBoundConstruction,
+    build_strongest,
+    StageRecord,
+    VerificationReport,
+    adversary_parameters,
+    verify_construction,
+)
+from .jamming import COLLISION, SILENCE, JamAnswer, JammingState
+from .oblivious import (
+    ObliviousAdversaryResult,
+    ObliviousLayerAdversary,
+    verify_oblivious,
+)
+from .oracle import AbstractHistoryOracle, LiveNode
+
+__all__ = [
+    "AbstractHistoryOracle",
+    "AdversaryError",
+    "AdversaryResult",
+    "COLLISION",
+    "JamAnswer",
+    "JammingState",
+    "LiveNode",
+    "LowerBoundConstruction",
+    "ObliviousAdversaryResult",
+    "ObliviousLayerAdversary",
+    "build_strongest",
+    "SILENCE",
+    "StageRecord",
+    "VerificationReport",
+    "verify_oblivious",
+    "adversary_parameters",
+    "verify_construction",
+]

@@ -1,0 +1,164 @@
+"""The Jamming function of the lower-bound construction (Section 3.1).
+
+During stage ``i + 1`` the adversary maintains a partition of the label
+reservoir ``R_(i+1)`` into ``k/2`` blocks ``B_l(p)``.  Each window step it
+is shown the set ``Y_l`` of reservoir nodes that would transmit, and it
+answers what node ``i`` "hears" — ``⊥`` (collision), ``0`` (silence from
+the layer under construction), or a single node ``v`` — while shrinking
+the blocks so that *any* future layer choice ``X`` with ``|X & B(p)| = 2``
+per block remains consistent with every answer already given.
+
+Case analysis (verbatim from the paper's function ``(i+1)-Jamming_l``):
+
+A.  Some active block ``p0`` has ``|B(p0) & Y| > (2/k) |B(p0)|``: answer
+    ``⊥`` and keep only ``B(p0) & Y`` (at least 2 elements survive; if the
+    block drops below ``k`` it is truncated to exactly two elements and
+    becomes inactive).
+B.  Otherwise remove ``Y`` from every active block (truncating to two
+    elements when a block falls below ``k``) and answer by the size of
+    ``Y`` restricted to the *inactive* blocks: ``0`` / the unique node /
+    ``⊥``.
+
+A block is *active* while it holds at least ``k`` elements (the paper's
+set ``A_l``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..sim.errors import ConfigurationError
+
+__all__ = ["JamAnswer", "COLLISION", "SILENCE", "JammingState"]
+
+
+@dataclass(frozen=True, slots=True)
+class JamAnswer:
+    """One answer of the Jamming function.
+
+    ``kind`` is ``"collision"`` (⊥), ``"silence"`` (0) or ``"single"``
+    (a unique node, carried in ``node``).
+    """
+
+    kind: str
+    node: int | None = None
+
+
+COLLISION = JamAnswer("collision")
+SILENCE = JamAnswer("silence")
+
+
+class JammingState:
+    """Blocks and answers of ``(i+1)-Jamming`` for one stage.
+
+    Args:
+        reservoir: The labels of ``R_(i+1)``.
+        k: The stage parameter ``k = ceil(n / 4D)`` (even, >= 4).
+
+    Attributes:
+        blocks: Current contents of each block, index ``p`` in
+            ``0..k/2 - 1``.  Blocks only ever shrink.
+        history: ``(Y_l, answer)`` per processed step, in order — the raw
+            material for the layer choice and the model check.
+    """
+
+    def __init__(self, reservoir: Iterable[int], k: int):
+        labels = sorted(set(reservoir))
+        if k < 4 or k % 2:
+            raise ConfigurationError(f"k must be even and >= 4, got {k}")
+        num_blocks = k // 2
+        if len(labels) < 2 * num_blocks:
+            raise ConfigurationError(
+                f"reservoir of {len(labels)} labels cannot fill {num_blocks} "
+                f"blocks with two elements each"
+            )
+        self.k = k
+        # Near-equal partition (the paper assumes k | 2m for simplicity).
+        self.blocks: list[set[int]] = [set() for _ in range(num_blocks)]
+        for index, label in enumerate(labels):
+            self.blocks[index % num_blocks].add(label)
+        self.initial_block_size = min(len(b) for b in self.blocks)
+        self.history: list[tuple[frozenset[int], JamAnswer]] = []
+
+    # ------------------------------------------------------------------
+
+    def active_blocks(self) -> list[int]:
+        """Indices of blocks that still hold at least ``k`` elements."""
+        return [p for p, block in enumerate(self.blocks) if len(block) >= self.k]
+
+    def step(self, transmitters: Iterable[int]) -> JamAnswer:
+        """Process one window step with reservoir transmitter set ``Y_l``."""
+        y = frozenset(transmitters)
+        active_before = set(self.active_blocks())
+
+        # Case A: an active block is mostly covered by Y.
+        for p0 in sorted(active_before):
+            block = self.blocks[p0]
+            overlap = block & y
+            if len(overlap) * self.k > 2 * len(block):
+                survivors = set(overlap)
+                if len(survivors) < self.k:
+                    survivors = set(sorted(survivors)[:2])
+                self.blocks[p0] = survivors
+                answer = COLLISION
+                self.history.append((y, answer))
+                return answer
+
+        # Case B: trim Y out of every active block.
+        for p in active_before:
+            remaining = self.blocks[p] - y
+            if len(remaining) < self.k:
+                remaining = set(sorted(remaining)[:2])
+            self.blocks[p] = remaining
+        inactive_union: set[int] = set()
+        for p, block in enumerate(self.blocks):
+            if len(block) < self.k:
+                inactive_union |= block
+        visible = y & inactive_union
+        if not visible:
+            answer = SILENCE
+        elif len(visible) == 1:
+            answer = JamAnswer("single", next(iter(visible)))
+        else:
+            answer = COLLISION
+        self.history.append((y, answer))
+        return answer
+
+    # ------------------------------------------------------------------
+
+    def largest_block(self) -> int:
+        """Index of the largest current block (the natural ``p*``)."""
+        return max(range(len(self.blocks)), key=lambda p: len(self.blocks[p]))
+
+    def models(self, chosen: set[int]) -> bool:
+        """Check the paper's ``X |= Jamming`` property against the history.
+
+        ``chosen`` models the answers iff for every processed step:
+        silence -> ``X & Y`` empty; single ``v`` -> ``X & Y == {v}``;
+        collision -> ``|X & Y| >= 2``.
+        """
+        for y, answer in self.history:
+            overlap = chosen & y
+            if answer.kind == "silence" and overlap:
+                return False
+            if answer.kind == "single" and overlap != {answer.node}:
+                return False
+            if answer.kind == "collision" and len(overlap) < 2:
+                return False
+        return True
+
+    def violation_report(self, chosen: set[int]) -> list[str]:
+        """Human-readable description of every modelling failure."""
+        problems = []
+        for l, (y, answer) in enumerate(self.history, start=1):
+            overlap = chosen & y
+            if answer.kind == "silence" and overlap:
+                problems.append(f"step {l}: expected silence, X&Y={sorted(overlap)}")
+            elif answer.kind == "single" and overlap != {answer.node}:
+                problems.append(
+                    f"step {l}: expected single {answer.node}, X&Y={sorted(overlap)}"
+                )
+            elif answer.kind == "collision" and len(overlap) < 2:
+                problems.append(f"step {l}: expected collision, X&Y={sorted(overlap)}")
+        return problems

@@ -1,0 +1,154 @@
+"""Action-function extraction for deterministic algorithms (Section 3.1).
+
+The lower-bound construction manipulates *abstract histories*: it assumes
+which messages each node received and asks what the algorithm would do
+next — the paper's action function ``pi(v, H_(k-1)(v))``.  Because every
+protocol in this library is a deterministic state machine over
+``(label, r, observations)``, the action function is obtained by keeping
+one *live* protocol instance per node and feeding it exactly the abstract
+observations the adversary decides on, in engine order: ``next_action``
+once per step, then the step's observation.
+
+Sleeping nodes (empty history) are never instantiated: the model's ban on
+spontaneous transmissions makes their action identically 0, exactly as
+the paper extends ``pi`` to ``pi-hat``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..sim.errors import ConfigurationError, ProtocolViolationError
+from ..sim.messages import Message
+from ..sim.protocol import BroadcastAlgorithm, Protocol
+
+__all__ = ["LiveNode", "AbstractHistoryOracle"]
+
+
+class LiveNode:
+    """One node's protocol instance driven by abstract observations.
+
+    The discipline mirrors the synchronous engine exactly: per step first
+    :meth:`query` (the node's action), then exactly one of
+    :meth:`deliver` / nothing — a woken node's first message arrives via
+    :meth:`wake` instead and it acts from the next step.
+    """
+
+    def __init__(self, algorithm: BroadcastAlgorithm, label: int, r: int):
+        # Deterministic protocols never touch the RNG; a fixed seed keeps
+        # accidental uses reproducible instead of silently diverging.
+        self.protocol: Protocol = algorithm.create(label, r, random.Random(0))
+        self.label = label
+        self._queried_step: int | None = None
+        self._pending: Any | None = None
+
+    def wake(self, step: int, message: Message | None) -> None:
+        self.protocol.wake_step = step
+        self.protocol.on_wake(step, message)
+
+    def query(self, step: int) -> Any | None:
+        """The node's action in ``step`` (payload to transmit, or None)."""
+        if self._queried_step == step:
+            return self._pending
+        self._pending = self.protocol.next_action(step)
+        self._queried_step = step
+        return self._pending
+
+    def deliver(self, step: int, message: Message | None) -> None:
+        """Complete the step with the observation the adversary chose."""
+        if self._queried_step != step:
+            raise ProtocolViolationError(
+                f"node {self.label}: observation for step {step} delivered "
+                f"before its action was queried"
+            )
+        self.protocol.observe(step, message)
+
+
+class AbstractHistoryOracle:
+    """All live nodes of one construction run.
+
+    Keeps ``label -> LiveNode`` for informed nodes and records, per node,
+    the full abstract delivery history (for the Lemma 9 comparison).
+
+    Args:
+        algorithm: The deterministic algorithm under attack.
+        r: Label bound announced to every node.
+    """
+
+    def __init__(self, algorithm: BroadcastAlgorithm, r: int):
+        if not algorithm.deterministic:
+            raise ConfigurationError(
+                f"the Section 3 lower bound applies to deterministic "
+                f"algorithms; {algorithm.name} declares itself randomized"
+            )
+        self.algorithm = algorithm
+        self.r = r
+        self.nodes: dict[int, LiveNode] = {}
+        #: label -> list of (step, sender) receptions in the abstract run.
+        self.deliveries: dict[int, list[tuple[int, int]]] = {}
+        #: label -> step of the node's first (abstract) transmission.
+        self.first_transmission: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def awake(self, label: int) -> bool:
+        return label in self.nodes
+
+    def wake(self, label: int, step: int, message: Message | None) -> None:
+        if label in self.nodes:
+            raise ProtocolViolationError(f"node {label} woken twice")
+        node = LiveNode(self.algorithm, label, self.r)
+        node.wake(step, message)
+        self.nodes[label] = node
+        self.deliveries.setdefault(label, [])
+        if message is not None:
+            self.deliveries[label].append((step, message.sender))
+
+    def query_actions(self, step: int, labels: Any = None) -> dict[int, Any]:
+        """Actions of all awake nodes (or a subset) in ``step``.
+
+        Returns:
+            Map label -> payload for the nodes that transmit.
+        """
+        pool = self.nodes if labels is None else {
+            lab: self.nodes[lab] for lab in labels if lab in self.nodes
+        }
+        actions: dict[int, Any] = {}
+        for label, node in pool.items():
+            payload = node.query(step)
+            if payload is not None:
+                actions[label] = payload
+                self.first_transmission.setdefault(label, step)
+        return actions
+
+    def finish_step(self, step: int, deliveries: dict[int, Message]) -> None:
+        """Deliver observations for ``step`` to every awake node.
+
+        ``deliveries`` maps receiver label to the message it hears; every
+        other awake node (including transmitters) observes silence.  Nodes
+        appearing in ``deliveries`` but still asleep are woken instead.
+        """
+        for label, message in deliveries.items():
+            if label not in self.nodes:
+                self.wake(label, step, message)
+            else:
+                self.nodes[label].deliver(step, message)
+                self.deliveries[label].append((step, message.sender))
+        for label, node in self.nodes.items():
+            if label in deliveries:
+                continue
+            if node._queried_step == step:
+                node.deliver(step, None)
+
+    def reset_nodes(self, labels: Any) -> None:
+        """Forget the given nodes entirely (the paper's part 6 history reset).
+
+        Their live instances are discarded; they are asleep again with an
+        empty history, exactly as if the part-2 virtual messages had never
+        been defined for them.
+        """
+        for label in labels:
+            self.nodes.pop(label, None)
+            self.deliveries.pop(label, None)
+            self.first_transmission.pop(label, None)

@@ -1,0 +1,59 @@
+"""Statistics, bound formulas and table rendering for the experiments."""
+
+from .bounds import (
+    FitResult,
+    alon_lower_bound,
+    bgi_randomized_bound,
+    bgi_stage_cost_bound,
+    claimed_cms_undirected_bound,
+    compare_bounds,
+    complete_layered_bound,
+    complete_layered_phase_cost_bound,
+    deterministic_lower_bound,
+    fit_constant,
+    km_lower_bound,
+    kp_randomized_bound,
+    kp_stage_cost_bound,
+    round_robin_bound,
+    select_and_send_bound,
+)
+from .progress import (
+    Milestones,
+    ascii_sparkline,
+    front_speed,
+    milestones,
+    progress_curve,
+    progress_table_rows,
+    transmissions_per_node,
+)
+from .stats import Summary, summarize
+from .tables import format_number, render_table
+
+__all__ = [
+    "FitResult",
+    "Milestones",
+    "Summary",
+    "alon_lower_bound",
+    "ascii_sparkline",
+    "bgi_randomized_bound",
+    "bgi_stage_cost_bound",
+    "claimed_cms_undirected_bound",
+    "compare_bounds",
+    "complete_layered_bound",
+    "complete_layered_phase_cost_bound",
+    "deterministic_lower_bound",
+    "fit_constant",
+    "front_speed",
+    "milestones",
+    "format_number",
+    "km_lower_bound",
+    "kp_randomized_bound",
+    "kp_stage_cost_bound",
+    "progress_curve",
+    "progress_table_rows",
+    "render_table",
+    "round_robin_bound",
+    "select_and_send_bound",
+    "summarize",
+    "transmissions_per_node",
+]

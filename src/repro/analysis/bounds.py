@@ -1,0 +1,179 @@
+"""The paper's asymptotic bounds as evaluable formulas, plus constant fitting.
+
+Benchmarks do not try to match the paper's constants (there are none to
+match — the paper is asymptotic); instead they check *shape*: measured
+times are fitted as ``c * bound(n, D)`` by least squares over a sweep, and
+EXPERIMENTS.md reports the fitted ``c`` together with the residual
+quality.  A reproduction succeeds when the claimed bound explains the
+measurements better than the competing bound (e.g. Theorem 1's
+``D log(n/D) + log^2 n`` versus BGI's ``D log n + log^2 n``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "kp_randomized_bound",
+    "kp_stage_cost_bound",
+    "bgi_randomized_bound",
+    "bgi_stage_cost_bound",
+    "km_lower_bound",
+    "alon_lower_bound",
+    "deterministic_lower_bound",
+    "select_and_send_bound",
+    "complete_layered_bound",
+    "complete_layered_phase_cost_bound",
+    "round_robin_bound",
+    "claimed_cms_undirected_bound",
+    "FitResult",
+    "fit_constant",
+    "compare_bounds",
+]
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+def kp_randomized_bound(n: int, d: int) -> float:
+    """Theorem 1 upper bound: ``D log(n/D) + log^2 n``."""
+    return d * _log2(n / max(1, d)) + _log2(n) ** 2
+
+
+def bgi_randomized_bound(n: int, d: int) -> float:
+    """Bar-Yehuda–Goldreich–Itai expected time: ``D log n + log^2 n``."""
+    return d * _log2(n) + _log2(n) ** 2
+
+
+def kp_stage_cost_bound(n: int, d: int) -> float:
+    """Finite-n form of Theorem 1: ``D (log(n/D) + 2)``.
+
+    A KP stage is ``log(r/D) + 2`` slots and the information front crosses
+    about one layer per stage, so at realistic n the +2 slots per stage
+    dominate whenever ``log(n/D)`` is small.  Asymptotically identical to
+    :func:`kp_randomized_bound` (``log(n/D) >= 1`` absorbs the constant);
+    E2 fits both to show which regime the measurements sit in.
+    """
+    return d * (_log2(n / max(1, d)) + 2.0)
+
+
+def bgi_stage_cost_bound(n: int, d: int) -> float:
+    """Finite-n form of BGI: ``D * 2 log n`` (one Decay phase per layer)."""
+    return d * 2.0 * _log2(n)
+
+
+def km_lower_bound(n: int, d: int) -> float:
+    """Kushilevitz–Mansour randomized lower bound: ``D log(n/D)``."""
+    return d * _log2(n / max(1, d))
+
+
+def alon_lower_bound(n: int, d: int) -> float:
+    """Alon et al. lower bound ``log^2 n`` (radius-2 families)."""
+    return _log2(n) ** 2
+
+
+def deterministic_lower_bound(n: int, d: int) -> float:
+    """Theorem 2: ``n log n / log(n/D)`` (deterministic broadcasting)."""
+    return n * _log2(n) / _log2(n / max(1, d))
+
+
+def select_and_send_bound(n: int, d: int) -> float:
+    """Theorem 3 upper bound: ``n log n``."""
+    return n * _log2(n)
+
+
+def complete_layered_bound(n: int, d: int) -> float:
+    """Theorem 4 upper bound for complete layered networks: ``n + D log n``."""
+    return n + d * _log2(n)
+
+
+def complete_layered_phase_cost_bound(n: int, d: int) -> float:
+    """Finite-n form of Theorem 4: ``6 D (log n + 2)``.
+
+    One Complete-Layered phase selects the next leader with up to
+    ``2 (log r + 2)`` Echo segments of 3 slots each; the O(n) startup only
+    matters for D = O(1).  Asymptotically identical to
+    :func:`complete_layered_bound`; E5 fits both.
+    """
+    return 6.0 * d * (_log2(n) + 2.0)
+
+
+def round_robin_bound(n: int, d: int) -> float:
+    """Round-robin schedule: ``n D``."""
+    return float(n * d)
+
+
+def claimed_cms_undirected_bound(n: int, d: int) -> float:
+    """The *incorrect* claimed lower bound ``n log D`` (Section 4.3).
+
+    Theorem 4 refutes this for undirected complete layered networks; E5
+    plots measured Complete-Layered times against it to show the
+    refutation numerically.
+    """
+    return n * _log2(max(2, d))
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fit of ``time ~ c * bound``.
+
+    Attributes:
+        constant: The fitted multiplier ``c``.
+        rmse: Root-mean-square error of the fit.
+        relative_rmse: ``rmse`` divided by the mean measured time.
+        max_ratio_spread: ``max(time/bound) / min(time/bound)`` — a
+            scale-free indicator of how constant the ratio is (close to 1
+            means the bound captures the shape perfectly).
+    """
+
+    constant: float
+    rmse: float
+    relative_rmse: float
+    max_ratio_spread: float
+
+
+def fit_constant(
+    times: Sequence[float],
+    params: Sequence[tuple[int, int]],
+    bound: Callable[[int, int], float],
+) -> FitResult:
+    """Fit ``times[i] ~ c * bound(*params[i])`` by least squares.
+
+    Args:
+        times: Measured broadcast times.
+        params: Matching ``(n, D)`` pairs.
+        bound: One of the bound formulas above.
+    """
+    if len(times) != len(params) or not times:
+        raise ValueError("times and params must be equal-length and non-empty")
+    measured = np.asarray(times, dtype=float)
+    predicted = np.asarray([bound(n, d) for n, d in params], dtype=float)
+    constant = float((measured @ predicted) / (predicted @ predicted))
+    residuals = measured - constant * predicted
+    rmse = float(np.sqrt(np.mean(residuals**2)))
+    ratios = measured / predicted
+    return FitResult(
+        constant=constant,
+        rmse=rmse,
+        relative_rmse=rmse / float(np.mean(measured)),
+        max_ratio_spread=float(ratios.max() / ratios.min()),
+    )
+
+
+def compare_bounds(
+    times: Sequence[float],
+    params: Sequence[tuple[int, int]],
+    bounds: dict[str, Callable[[int, int], float]],
+) -> dict[str, FitResult]:
+    """Fit several candidate bounds to the same data.
+
+    The bound with the smallest ``relative_rmse`` explains the
+    measurements best — the benchmarks use this to decide which asymptotic
+    shape the data follows.
+    """
+    return {name: fit_constant(times, params, bound) for name, bound in bounds.items()}

@@ -1,0 +1,77 @@
+"""Monte-Carlo statistics for broadcast-time estimation.
+
+Corollary 1 speaks about *expected* broadcasting time; experiments
+estimate it by repeated runs with independent seeds.  This module provides
+the summary type used across benchmarks: mean, spread, and a normal-
+approximation confidence interval (the estimator is a mean of bounded,
+i.i.d. samples, so the CLT applies long before the 20-50 runs used here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Summary", "summarize"]
+
+#: Two-sided z-values for the confidence levels the benchmarks use.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample of broadcast times.
+
+    Attributes:
+        count: Sample size.
+        mean: Sample mean.
+        std: Sample standard deviation (Bessel-corrected).
+        minimum / maximum: Sample extremes.
+        ci_low / ci_high: Normal-approximation confidence interval for the
+            mean at the requested level.
+        level: The confidence level the interval was built for.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    level: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.1f} ± {self.ci_high - self.mean:.1f} "
+            f"(n={self.count}, range [{self.minimum:.0f}, {self.maximum:.0f}])"
+        )
+
+
+def summarize(samples: Iterable[float], level: float = 0.95) -> Summary:
+    """Summarise a sample; the CI collapses to the mean for single samples."""
+    data: Sequence[float] = list(samples)
+    if not data:
+        raise ValueError("cannot summarise an empty sample")
+    if level not in _Z:
+        raise ValueError(f"unsupported confidence level {level}; use one of {sorted(_Z)}")
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+        std = math.sqrt(variance)
+        half = _Z[level] * std / math.sqrt(n)
+    else:
+        std = 0.0
+        half = 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        std=std,
+        minimum=min(data),
+        maximum=max(data),
+        ci_low=mean - half,
+        ci_high=mean + half,
+        level=level,
+    )

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output.
+
+Every experiment prints its results as an aligned ASCII table so that the
+``pytest benchmarks/ --benchmark-only`` transcript doubles as the
+EXPERIMENTS.md data source.  No external dependency; right-aligned
+numerics, left-aligned text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value: object, digits: int = 2) -> str:
+    """Compact numeric formatting: ints plain, floats to ``digits``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; formatted with :func:`format_number`.
+        title: Optional caption printed above the table.
+    """
+    formatted = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in formatted)
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Baseline broadcasting algorithms the paper compares against."""
+
+from .bgi import BGIBroadcast, default_phase_length
+from .centralized import CentralizedGreedySchedule, greedy_broadcast_schedule
+from .interleaved import InterleavedBroadcast
+from .known_neighbors import KnownNeighborsDFS
+from .round_robin import RoundRobinBroadcast
+from .selective_schedule import SelectiveFamilyBroadcast
+
+__all__ = [
+    "BGIBroadcast",
+    "CentralizedGreedySchedule",
+    "InterleavedBroadcast",
+    "KnownNeighborsDFS",
+    "RoundRobinBroadcast",
+    "SelectiveFamilyBroadcast",
+    "default_phase_length",
+    "greedy_broadcast_schedule",
+]

@@ -1,0 +1,142 @@
+"""Deterministic broadcast from selective families (CMS style).
+
+Clementi, Monti and Silvestri connected selective families to oblivious
+deterministic broadcasting: if the informed in-neighbourhood of a node is
+``Z``, any family member ``F`` with ``|F & Z| == 1`` delivers a message in
+the slot where exactly the informed members of ``F`` transmit.  Cycling
+through ``(n, k)``-selective families for every scale ``k = 1, 2, 4, ...``
+therefore pushes the information front at least one layer per full cycle.
+
+This baseline matters for two of the paper's discussions:
+
+* it is the *schedule-based* (non-adaptive) counterpoint to the adaptive
+  Select-and-Send — the lower bound of Section 3 shows that no
+  deterministic algorithm, adaptive or not, beats
+  ``Omega(n log n / log(n/D))``;
+* its building block (selective families) is exactly the object whose
+  *size lower bound* powers the paper's jamming construction.
+
+Both a deterministic (Kautz–Singleton) and a randomized-family variant are
+available; both are oblivious, so they run on the fast engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..combinatorics.selective import greedy_selective_family, kautz_singleton_family
+from ..sim.errors import ConfigurationError
+from ..sim.protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol
+
+__all__ = ["SelectiveFamilyBroadcast"]
+
+
+class _ScheduleProtocol(ObliviousTransmitter):
+    def __init__(self, label: int, r: int, rng: random.Random, schedule_slots: list[bool]):
+        super().__init__(label, r, rng)
+        self._slots = schedule_slots  # membership of this label per cycle slot
+        self._cycle = len(schedule_slots)
+
+    def wants_to_transmit(self, step: int) -> bool:
+        return self._slots[step % self._cycle]
+
+
+class SelectiveFamilyBroadcast(BroadcastAlgorithm):
+    """Oblivious schedule cycling through multi-scale selective families.
+
+    Args:
+        r: Label bound; the ground set is ``{0, ..., r}``.
+        family_kind: ``"kautz-singleton"`` (deterministic, strongly
+            selective, size ``O((k log n / log(k log n))^2)`` per scale) or
+            ``"random"`` (randomized construction, size ``O(k log n)`` per
+            scale, selective with high probability).
+        max_scale: Largest neighbourhood size the schedule must handle;
+            defaults to ``r + 1`` (all scales).
+        seed: Seed for the random family variant.
+    """
+
+    deterministic = True
+
+    def __init__(
+        self,
+        r: int,
+        family_kind: str = "random",
+        max_scale: int | None = None,
+        seed: int = 0,
+    ):
+        if family_kind not in ("kautz-singleton", "random"):
+            raise ConfigurationError(f"unknown family kind {family_kind!r}")
+        self.r = r
+        self.family_kind = family_kind
+        ground = r + 1
+        top = ground if max_scale is None else min(max_scale, ground)
+        sets: list[frozenset[int]] = []
+        k = 1
+        rng = random.Random(seed)
+        while k <= top:
+            if family_kind == "kautz-singleton":
+                sets.extend(kautz_singleton_family(ground, k))
+            else:
+                sets.extend(greedy_selective_family(ground, k, rng))
+            k *= 2
+        # Always include the full set: a frontier node with exactly one
+        # informed neighbour is served by it, and it makes cycle 0 wake the
+        # source's whole neighbourhood.
+        sets.append(frozenset(range(ground)))
+        # Guarantee (n, 2)-selectivity deterministically with the binary
+        # bit-sets: any two distinct labels differ in some bit, and the set
+        # of labels with that bit set contains exactly one of them.  The
+        # random construction alone is only selective w.h.p., and a missing
+        # pair would let the schedule stall forever on a network where some
+        # node's informed neighbourhood is exactly that pair (found by the
+        # oblivious layer adversary).
+        for bit in range(max(1, (ground - 1).bit_length())):
+            sets.append(frozenset(x for x in range(ground) if (x >> bit) & 1))
+        self._sets = sets
+        self.cycle_length = len(sets)
+        self.name = f"selective-family({family_kind}, cycle={self.cycle_length})"
+        # label -> boolean membership vector over the cycle (built lazily
+        # per label for the reference engine; as a matrix for fast runs).
+        # The cache is keyed on the exact label array — length alone is not
+        # enough (two different single-label queries must not share rows).
+        self._matrix: np.ndarray | None = None
+        self._matrix_labels: np.ndarray | None = None
+
+    # -- reference engine -------------------------------------------------
+
+    def create(self, label: int, r: int, rng: random.Random) -> Protocol:
+        slots = [label in member for member in self._sets]
+        return _ScheduleProtocol(label, r, rng, slots)
+
+    # -- fast engine -------------------------------------------------------
+
+    def _membership_matrix(self, labels: np.ndarray) -> np.ndarray:
+        if self._matrix_labels is None or not np.array_equal(self._matrix_labels, labels):
+            self._matrix_labels = labels.copy()
+            self._matrix = None
+        if self._matrix is None:
+            matrix = np.zeros((labels.shape[0], self.cycle_length), dtype=bool)
+            index_of = {int(lab): i for i, lab in enumerate(labels)}
+            for slot, member in enumerate(self._sets):
+                for lab in member:
+                    row = index_of.get(lab)
+                    if row is not None:
+                        matrix[row, slot] = True
+            self._matrix = matrix
+        return self._matrix
+
+    def transmit_mask(
+        self,
+        step: int,
+        labels: np.ndarray,
+        wake_steps: np.ndarray,
+        r: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return self._membership_matrix(labels)[:, step % self.cycle_length].copy()
+
+    def max_steps_hint(self, n: int, r: int) -> int | None:
+        # At least one layer per cycle in the worst case.
+        return self.cycle_length * (n + 1)

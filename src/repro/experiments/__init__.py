@@ -1,0 +1,28 @@
+"""Experiment runners: one module per paper claim (see DESIGN.md, Section 4).
+
+Each experiment exposes ``run(quick=False) -> ExperimentReport``; the
+registry powers both the benchmark suite (``benchmarks/``, which asserts
+``report.ok``) and the CLI (``repro experiment e1 [--quick]``).
+"""
+
+from . import (  # noqa: F401  (import for registration side effects)
+    e1_randomized_vs_bgi,
+    e2_scaling_fit,
+    e3_lower_bound,
+    e4_select_and_send,
+    e5_complete_layered,
+    e6_interleaving,
+    e7_universal_sequence,
+    e8_layered_hardness,
+    e9_ablation,
+    e10_echo,
+    e11_oblivious_adversary,
+)
+from .base import Claim, ExperimentReport, all_experiments, get_experiment
+
+__all__ = [
+    "Claim",
+    "ExperimentReport",
+    "all_experiments",
+    "get_experiment",
+]

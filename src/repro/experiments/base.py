@@ -1,0 +1,118 @@
+"""Experiment framework.
+
+Every paper claim is reproduced by one experiment module exposing
+``run(quick=False) -> ExperimentReport``.  A report carries rendered
+result tables plus a list of :class:`Claim` checks — the machine-readable
+verdicts that the benchmarks assert and EXPERIMENTS.md cites.  ``quick``
+mode shrinks sweeps for interactive use (``repro experiment e1 --quick``);
+the default parameters are the ones recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["Claim", "ExperimentReport", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement extracted from the paper.
+
+    Attributes:
+        description: What the paper claims, in one sentence.
+        holds: Whether the measurement supports it.
+        details: The numbers behind the verdict.
+    """
+
+    description: str
+    holds: bool
+    details: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced.
+
+    Attributes:
+        experiment: Short id ("e1", ..., "e10").
+        title: Human-readable one-liner.
+        tables: Rendered ASCII tables, in presentation order.
+        claims: Verdicts for the paper claims this experiment covers.
+    """
+
+    experiment: str
+    title: str
+    tables: list[str] = field(default_factory=list)
+    claims: list[Claim] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every claim check passed."""
+        return all(claim.holds for claim in self.claims)
+
+    def add_table(self, table: str) -> None:
+        self.tables.append(table)
+
+    def check(self, description: str, holds: bool, details: str = "") -> None:
+        """Record one claim verdict."""
+        self.claims.append(Claim(description, bool(holds), details))
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: id, title, tables (text) and claim verdicts."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "ok": self.ok,
+            "tables": list(self.tables),
+            "claims": [
+                {
+                    "description": claim.description,
+                    "holds": claim.holds,
+                    "details": claim.details,
+                }
+                for claim in self.claims
+            ],
+        }
+
+    def render(self) -> str:
+        """Full text form: tables followed by the claim checklist."""
+        lines = [f"== {self.experiment.upper()}: {self.title} ==", ""]
+        for table in self.tables:
+            lines.append(table)
+            lines.append("")
+        lines.append("claims:")
+        for claim in self.claims:
+            mark = "PASS" if claim.holds else "FAIL"
+            suffix = f"  ({claim.details})" if claim.details else ""
+            lines.append(f"  [{mark}] {claim.description}{suffix}")
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentReport]] = {}
+
+
+def register(name: str) -> Callable:
+    """Class-less registry decorator for experiment entry points."""
+
+    def decorate(func: Callable[..., ExperimentReport]):
+        _REGISTRY[name] = func
+        return func
+
+    return decorate
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentReport]:
+    """Look up an experiment runner by id (e.g. ``"e1"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> Sequence[str]:
+    """Sorted ids of every registered experiment."""
+    return sorted(_REGISTRY)

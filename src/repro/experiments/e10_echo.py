@@ -1,0 +1,159 @@
+"""E10 — Section 4.1: Echo-based collision detection and Binary-Selection
+in O(log m) segments, at the state-machine and the radio level."""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis import render_table
+from ..core import (
+    CompleteLayeredBroadcast,
+    EchoOutcome,
+    Selected,
+    SelectionDriver,
+)
+from ..sim import run_broadcast
+from ..topology import complete_layered
+from .base import ExperimentReport, register
+
+FULL_BOUNDS = [16, 64, 256, 1024, 4096]
+QUICK_BOUNDS = [16, 256, 4096]
+FULL_M = [4, 16, 64, 256]
+QUICK_M = [4, 64]
+
+
+def _worst_segments(r: int, trials: int, rng: random.Random) -> int:
+    worst = 0
+    for _ in range(trials):
+        size = rng.randint(1, min(r, 64))
+        hidden = set(rng.sample(range(1, r + 1), size))
+        driver = SelectionDriver(r)
+        probe = driver.current_probe
+        segments = 1
+        while True:
+            members = [x for x in hidden if probe.lo <= x <= probe.hi]
+            if len(members) == 1:
+                step = driver.feed(EchoOutcome.SINGLE, members[0])
+            elif not members:
+                step = driver.feed(EchoOutcome.EMPTY)
+            else:
+                step = driver.feed(EchoOutcome.MANY)
+            if isinstance(step, Selected):
+                break
+            probe = step
+            segments += 1
+        worst = max(worst, segments)
+    return worst
+
+
+@register("e10")
+def run(quick: bool = False) -> ExperimentReport:
+    """Segment counts vs the bound; end-to-end selection cost over radio."""
+    rng = random.Random(0)
+    trials = 100 if quick else 300
+    report = ExperimentReport("e10", "Echo and Binary-Selection (Section 4.1)")
+
+    rows = []
+    within_bound = True
+    for r in (QUICK_BOUNDS if quick else FULL_BOUNDS):
+        bound = SelectionDriver(r).segments_used_bound()
+        worst = _worst_segments(r, trials, rng)
+        within_bound &= worst <= bound
+        rows.append([r, worst, bound, worst / bound])
+    report.add_table(
+        render_table(
+            ["label bound r", f"worst segments ({trials} trials)",
+             "2(log r + 2) bound", "ratio"],
+            rows,
+        )
+    )
+    report.check(
+        "Binary-Selection always selects within 2(log r + 2) Echo segments",
+        within_bound,
+    )
+
+    # Layer profile [1, 1, m, 1]: the m-wide layer sits at depth 2, so its
+    # leader is picked by a genuine Echo Binary-Selection among m responders
+    # (depth 1 is elected by the O(n) startup instead), and the last node
+    # can only be informed once a lone layer-2 transmission happens during
+    # that selection.  Completion time therefore isolates one selection
+    # among m plus O(1) overhead.
+    # Labels are shuffled: with sorted labels the first probe [1..2] would
+    # isolate the lowest layer-2 label immediately and hide the search.
+    # Radio-level cost.  The measured quantity is the gap between layer 2
+    # completing and layer 3 waking: exactly the Echo selection among the
+    # responders.  Binary-Selection searches the LABEL space, so its cost
+    # is governed by log r (with the label bound r), and the adversarial
+    # placement — all responder labels clustered at the top of the range —
+    # forces the doubling phase through every scale.  The cost must grow
+    # like log r and respect the 3 * 2(log r + 2) slot bound.
+    from ..sim.network import RadioNetwork
+
+    rows2 = []
+    m = 8
+    r_values = [64, 512] if quick else [64, 512, 4096, 16384]
+    for r in r_values:
+        responders = list(range(r - m + 1, r + 1))
+        nodes = [0, 1, 2, *responders]
+        edges = [(0, 1)]
+        edges += [(1, x) for x in responders]
+        edges += [(x, 2) for x in responders]
+        net = RadioNetwork.undirected(nodes, edges, r=r)
+        result = run_broadcast(
+            net, CompleteLayeredBroadcast(), require_completion=True
+        )
+        cost = result.layer_times[3] - result.layer_times[2]
+        log_r = max(1, r.bit_length())
+        slot_bound = 3 * 2 * (log_r + 2) + 6
+        rows2.append([r, cost, cost / log_r, slot_bound])
+    report.add_table(
+        render_table(
+            ["label bound r", "selection slots", "slots / log r", "3*2(log r+2) bound"],
+            rows2,
+        )
+    )
+    deltas = [rows2[i + 1][1] - rows2[i][1] for i in range(len(rows2) - 1)]
+    report.check(
+        "end-to-end radio selection cost grows logarithmically in the label "
+        "bound and stays under 3 slots per Echo segment times the segment "
+        "bound",
+        all(delta > 0 for delta in deltas)
+        and all(row[1] <= row[3] for row in rows2),
+        f"slots: {[row[1] for row in rows2]}",
+    )
+
+    # What does *simulating* collision detection cost?  Run the same
+    # leader-chain broadcast under the CD model variant, where one slot
+    # per probe replaces the Echo pair and no distinguished parent is
+    # needed.  Echo's overhead is the price the paper's model exacts.
+    from ..topology import uniform_complete_layered
+
+    rows3 = []
+    cd_cases = [(100, 10)] if quick else [(100, 10), (200, 20), (400, 40)]
+    cd_always_faster = True
+    for n, d in cd_cases:
+        net = uniform_complete_layered(n, d)
+        plain = run_broadcast(
+            net, CompleteLayeredBroadcast(), require_completion=True
+        )
+        with_cd = run_broadcast(
+            net,
+            CompleteLayeredBroadcast(native_cd=True),
+            collision_detection=True,
+            require_completion=True,
+        )
+        cd_always_faster &= with_cd.time < plain.time
+        rows3.append([n, d, plain.time, with_cd.time, plain.time / with_cd.time])
+    report.add_table(
+        render_table(
+            ["n", "D", "Echo (paper model)", "native CD", "Echo overhead"],
+            rows3,
+        )
+    )
+    report.check(
+        "simulated collision detection (Echo) costs a measurable constant "
+        "factor over native collision detection — and nothing more",
+        cd_always_faster and all(row[4] < 2.2 for row in rows3),
+        f"overheads: {[f'{row[4]:.2f}' for row in rows3]}",
+    )
+    return report

@@ -1,0 +1,116 @@
+"""E3 — Theorem 2: the adversarial lower-bound construction, executed.
+
+Paper claim: for every deterministic algorithm there is an n-node network
+of radius Theta(D) on which it needs ``Omega(n log n / log(n/D))`` time.
+We run the Fig. 2 construction against three algorithms, verify the
+Lemma 9 history equivalence *exactly*, and additionally stretch the
+jamming window beyond the provable length while the witness search still
+certifies it.
+"""
+
+from __future__ import annotations
+
+from ..adversary import LowerBoundConstruction, build_strongest, verify_construction
+from ..analysis import deterministic_lower_bound, render_table
+from ..baselines import RoundRobinBroadcast, SelectiveFamilyBroadcast
+from ..core import SelectAndSend
+from .base import ExperimentReport, register
+
+FULL_CASES = [(256, 8), (256, 16), (512, 16), (1024, 16)]
+QUICK_CASES = [(256, 8), (256, 16)]
+
+
+def _algorithms(n: int):
+    return {
+        "round-robin": lambda: RoundRobinBroadcast(n - 1),
+        "select-and-send": lambda: SelectAndSend(),
+        "selective-family": lambda: SelectiveFamilyBroadcast(
+            n - 1, "random", max_scale=32, seed=3
+        ),
+    }
+
+
+@register("e3")
+def run(quick: bool = False) -> ExperimentReport:
+    """Build and verify G_A per algorithm; then stretch the windows."""
+    cases = QUICK_CASES if quick else FULL_CASES
+    report = ExperimentReport("e3", "Theorem 2 executed: per-algorithm hard networks")
+
+    rows = []
+    all_match, all_silent, all_floors = True, True, True
+    for n, d in cases:
+        for algo_name, factory in _algorithms(n).items():
+            if algo_name == "selective-family" and n > 512:
+                continue
+            construction = LowerBoundConstruction(factory(), n, d)
+            result = construction.build()
+            verification = verify_construction(result, factory())
+            formula_floor = (d // 2 - 1) * construction.window
+            all_match &= verification.histories_match
+            all_silent &= verification.silence_respected
+            all_floors &= (
+                result.silence_floor >= formula_floor
+                and verification.real_completion_time > result.silence_floor
+            )
+            rows.append(
+                [n, d, algo_name, construction.k, construction.window,
+                 formula_floor, result.silence_floor,
+                 verification.real_completion_time,
+                 f"{deterministic_lower_bound(n, d):.0f}"]
+            )
+    report.add_table(
+        render_table(
+            ["n", "D", "algorithm", "k", "W", "(D/2-1)W", "silence floor",
+             "real time on G_A", "n log n/log(n/D)"],
+            rows,
+        )
+    )
+    report.check(
+        "Lemma 9: real transmitter sets equal the abstract ones on every "
+        "constructed step, for every (n, D, algorithm)",
+        all_match,
+    )
+    report.check(
+        "the last even-layer node stays silent until the constructed floor "
+        "in every real run",
+        all_silent,
+    )
+    report.check(
+        "floors are ordered: (D/2-1)W <= silence floor < real broadcast time",
+        all_floors,
+    )
+
+    # Window stretching.
+    rows2 = []
+    stretched_ok = True
+    stretch_cases = [(256, 8, "round-robin"), (256, 8, "select-and-send")]
+    if not quick:
+        stretch_cases.append((512, 16, "select-and-send"))
+    for n, d, algo_name in stretch_cases:
+        factory = _algorithms(n)[algo_name]
+        paper = LowerBoundConstruction(factory(), n, d).build()
+        stretched = build_strongest(factory, n, d)
+        verification = verify_construction(stretched, factory())
+        stretched_ok &= (
+            verification.histories_match
+            and verification.silence_respected
+            and stretched.silence_floor >= paper.silence_floor
+        )
+        rows2.append(
+            [n, d, algo_name, paper.window, paper.silence_floor,
+             stretched.window, stretched.silence_floor,
+             verification.real_completion_time]
+        )
+    report.add_table(
+        render_table(
+            ["n", "D", "algorithm", "paper W", "paper floor", "stretched W",
+             "stretched floor", "real time"],
+            rows2,
+        )
+    )
+    report.check(
+        "window stretching certifies jamming far beyond the provable W, "
+        "still passing the exact Lemma 9 replay",
+        stretched_ok,
+    )
+    return report

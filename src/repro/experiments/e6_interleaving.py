@@ -1,0 +1,63 @@
+"""E6 — Section 4.2 remark: round-robin vs Select-and-Send crossover, and
+interleaving at O(n min(D, log n))."""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis import render_table
+from ..baselines import InterleavedBroadcast, RoundRobinBroadcast
+from ..core import SelectAndSend
+from ..sim import run_broadcast
+from ..topology import uniform_complete_layered
+from .base import ExperimentReport, register
+
+N = 256
+FULL_DEPTHS = [1, 2, 4, 8, 16, 32, 64, 128]
+QUICK_DEPTHS = [1, 4, 16, 64]
+
+
+@register("e6")
+def run(quick: bool = False) -> ExperimentReport:
+    """Sweep D at fixed n; find the crossover; bound the interleaving cost."""
+    depths = QUICK_DEPTHS if quick else FULL_DEPTHS
+    report = ExperimentReport(
+        "e6", f"round-robin / Select-and-Send crossover and interleaving (n={N})"
+    )
+    rows = []
+    crossover = None
+    interleave_ok = True
+    for depth in depths:
+        net = uniform_complete_layered(N, depth, relabel_seed=9)
+        rr = run_broadcast(net, RoundRobinBroadcast(net.r), require_completion=True)
+        ss = run_broadcast(net, SelectAndSend(), require_completion=True)
+        both = run_broadcast(
+            net,
+            InterleavedBroadcast(RoundRobinBroadcast(net.r), SelectAndSend()),
+            require_completion=True,
+        )
+        winner = "round-robin" if rr.time <= ss.time else "select-and-send"
+        if winner == "select-and-send" and crossover is None:
+            crossover = depth
+        interleave_ok &= both.time <= 2 * min(rr.time, ss.time) + 2
+        rows.append([depth, rr.time, ss.time, both.time, winner])
+    report.add_table(
+        render_table(
+            ["D", "round-robin", "select&send", "interleaved", "winner"],
+            rows,
+        )
+    )
+    report.check(
+        "round-robin (O(nD)) wins for very small D; Select-and-Send "
+        "(O(n log n)) takes over near D ~ log n",
+        rows[0][4] == "round-robin"
+        and crossover is not None
+        and crossover <= 8 * math.log2(N),
+        f"crossover at D = {crossover}",
+    )
+    report.check(
+        "interleaving costs at most twice the faster component "
+        "(O(n min(D, log n)))",
+        interleave_ok,
+    )
+    return report

@@ -1,0 +1,69 @@
+"""E7 — Lemma 1: universal sequences exist with period O(D); U1/U2 status
+across the parameter grid."""
+
+from __future__ import annotations
+
+from ..analysis import render_table
+from ..combinatorics import build_universal_sequence, check_universality
+from ..sim.errors import ConfigurationError
+from .base import ExperimentReport, register
+
+FULL_GRID = [
+    (256, 64), (256, 256),
+    (1024, 128), (1024, 1024),
+    (4096, 512), (4096, 4096),
+    (65536, 16384), (65536, 65536),
+    (1 << 18, 1 << 18), (1 << 20, 1 << 18),
+]
+QUICK_GRID = [(256, 64), (1024, 1024), (65536, 16384)]
+
+
+@register("e7")
+def run(quick: bool = False) -> ExperimentReport:
+    """Construct sequences over the grid; verify U1 always and U2 in regime."""
+    grid = QUICK_GRID if quick else FULL_GRID
+    report = ExperimentReport("e7", "universal sequences (Lemma 1)")
+    rows = []
+    u1_always, regime_ok, period_ok = True, True, True
+    for r, d in grid:
+        sequence = build_universal_sequence(r, d)
+        verdict = check_universality(sequence)
+        u1_bad = sum(1 for v in verdict.violations if v.startswith("U1"))
+        u2_bad = len(verdict.violations) - u1_bad
+        in_regime = d > 32 * r ** (2.0 / 3.0)
+        u1_always &= u1_bad == 0
+        if in_regime:
+            regime_ok &= verdict.ok
+            period_ok &= len(sequence) <= 3 * d
+        rows.append(
+            [r, d, len(sequence), len(sequence) / (3 * d),
+             "yes" if in_regime else "no", u1_bad, u2_bad,
+             "OK" if verdict.ok else "degraded"]
+        )
+    report.add_table(
+        render_table(
+            ["r", "D", "period", "period/3D", "in regime",
+             "U1 fails", "U2 fails", "status"],
+            rows,
+        )
+    )
+    report.check("condition U1 holds for every (r, D) — it needs no regime",
+                 u1_always)
+    report.check(
+        "inside Lemma 1's regime (D > 32 r^(2/3)) both U1 and U2 hold",
+        regime_ok,
+    )
+    report.check(
+        "the period stays below the paper's 3D bound in the regime",
+        period_ok,
+    )
+    strict_rejects = False
+    try:
+        build_universal_sequence(4096, 64, strict=True)
+    except ConfigurationError:
+        strict_rejects = True
+    report.check(
+        "strict mode enforces the lemma's precondition",
+        strict_rejects,
+    )
+    return report

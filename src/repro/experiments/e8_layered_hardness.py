@@ -1,0 +1,90 @@
+"""E8 — Section 1.2 corollary: complete layered networks are the hardest
+case for randomized broadcasting but not for deterministic broadcasting;
+plus the radius-2 (Alon et al.) hardness search."""
+
+from __future__ import annotations
+
+from ..analysis import km_lower_bound, render_table, summarize
+from ..core import CompleteLayeredBroadcast, KnownRadiusKP, SelectAndSend
+from ..sim import run_broadcast, run_broadcast_fast
+from ..topology import km_hard_layered, search_radius2_hard_instance
+from .base import ExperimentReport, register
+
+FULL_RANDOM_CASES = [(512, 32), (512, 128), (2048, 64), (2048, 512)]
+QUICK_RANDOM_CASES = [(512, 32), (512, 128)]
+FULL_DET_CASES = [(512, 16), (1024, 16), (1024, 64)]
+QUICK_DET_CASES = [(512, 16)]
+FULL_R2_SIZES = [64, 128, 256]
+QUICK_R2_SIZES = [64, 128]
+
+
+@register("e8")
+def run(quick: bool = False) -> ExperimentReport:
+    """Randomized tightness + deterministic ease + radius-2 search."""
+    seeds = 4 if quick else 8
+    report = ExperimentReport(
+        "e8", "layered hardness: tight for randomized, easy for deterministic"
+    )
+
+    rows = []
+    for n, d in (QUICK_RANDOM_CASES if quick else FULL_RANDOM_CASES):
+        net = km_hard_layered(n, d, seed=31)
+        stats = summarize(
+            [run_broadcast_fast(net, KnownRadiusKP(net.r, d), seed=s).time
+             for s in range(seeds)]
+        )
+        rows.append([n, d, f"{stats.mean:.0f}", stats.mean / km_lower_bound(n, d)])
+    report.add_table(
+        render_table(["n", "D", "KP randomized", "rand / KM lower bound"], rows)
+    )
+    ratios = [row[3] for row in rows]
+    report.check(
+        "randomized time on KM-hard layered nets stays within a constant "
+        "band of the D log(n/D) lower bound (tightness of Theorem 1)",
+        max(ratios) / min(ratios) < 6.0,
+        f"band [{min(ratios):.2f}, {max(ratios):.2f}]",
+    )
+
+    rows2 = []
+    speedups_ok = True
+    for n, d in (QUICK_DET_CASES if quick else FULL_DET_CASES):
+        net = km_hard_layered(n, d, seed=31)
+        layered = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+        general = run_broadcast(net, SelectAndSend(), require_completion=True)
+        speedups_ok &= layered.time < general.time
+        rows2.append([n, d, layered.time, general.time, general.time / layered.time])
+    report.add_table(
+        render_table(
+            ["n", "D", "Complete-Layered", "Select-and-Send", "speedup"],
+            rows2,
+        )
+    )
+    report.check(
+        "deterministically, layered structure admits times far below "
+        "Theta(n log n): layered networks are NOT the deterministic worst case",
+        speedups_ok,
+    )
+
+    rows3 = []
+    for n in (QUICK_R2_SIZES if quick else FULL_R2_SIZES):
+        algo = KnownRadiusKP(n - 1, 2)
+        found = search_radius2_hard_instance(
+            n, algo, trials=4 if quick else 8, runs_per_trial=3 if quick else 4,
+            seed=2,
+        )
+        log2n = max(1.0, (n - 1).bit_length())
+        rows3.append([n, f"{found.score:.1f}", found.score / 2.0,
+                      found.score / (log2n * log2n)])
+    report.add_table(
+        render_table(
+            ["n", "hardest radius-2 time", "slowdown vs D=2", "time / log^2 n"],
+            rows3,
+        )
+    )
+    report.check(
+        "radius-2 hardness grows with n (the Omega(log^2 n) effect of Alon "
+        "et al., reproduced by instance search)",
+        rows3[-1][2] > rows3[0][2] * 0.9 and rows3[-1][2] > 3.0,
+        f"slowdowns: {' -> '.join(str(row[2]) for row in rows3)}",
+    )
+    return report

@@ -1,0 +1,58 @@
+"""Radio-network simulation substrate.
+
+Implements the synchronous radio model of Kowalski & Pelc (Section 1.3):
+collision-as-silence, half-duplex nodes, no collision detection, no
+spontaneous transmissions, labels in ``{0..r}`` with only the own label and
+``r`` known a priori.
+"""
+
+from .engine import SynchronousEngine
+from .errors import (
+    BroadcastIncompleteError,
+    ConfigurationError,
+    NetworkError,
+    ProtocolViolationError,
+    SimulationError,
+)
+from .fast import ASLEEP, FastEngine, VectorizedAlgorithm, run_broadcast_fast
+from .messages import SOURCE_PAYLOAD, Message, source_message
+from .network import RadioNetwork
+from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol
+from .run import BroadcastResult, repeat_broadcast, run_broadcast
+from .serialization import (
+    load_network,
+    load_result,
+    save_network,
+    save_result,
+)
+from .trace import StepRecord, Trace, TraceLevel
+
+__all__ = [
+    "ASLEEP",
+    "BroadcastAlgorithm",
+    "BroadcastIncompleteError",
+    "BroadcastResult",
+    "ConfigurationError",
+    "FastEngine",
+    "Message",
+    "NetworkError",
+    "ObliviousTransmitter",
+    "Protocol",
+    "ProtocolViolationError",
+    "RadioNetwork",
+    "SOURCE_PAYLOAD",
+    "SimulationError",
+    "StepRecord",
+    "SynchronousEngine",
+    "Trace",
+    "load_network",
+    "load_result",
+    "save_network",
+    "save_result",
+    "TraceLevel",
+    "VectorizedAlgorithm",
+    "repeat_broadcast",
+    "run_broadcast",
+    "run_broadcast_fast",
+    "source_message",
+]

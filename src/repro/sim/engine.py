@@ -1,0 +1,218 @@
+"""Synchronous radio-channel engine (reference implementation).
+
+Implements the model of Section 1.3 exactly:
+
+* time proceeds in synchronous slots;
+* in each slot a node either transmits or listens;
+* a listening node receives a message iff **exactly one** of its
+  in-neighbours transmits — two or more transmitters produce the same
+  effect as silence (no collision detection);
+* a transmitting node hears nothing in that slot (half-duplex);
+* nodes that have not received the source message stay silent
+  (no spontaneous transmissions) — enforced structurally: the engine does
+  not even instantiate a node's protocol until the node is informed.
+
+This engine executes arbitrary (interactive, message-driven) protocols.
+For oblivious randomized algorithms a vectorised engine with identical
+semantics lives in :mod:`repro.sim.fast`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .errors import ConfigurationError
+from .messages import Message
+from .network import RadioNetwork
+from .protocol import BroadcastAlgorithm, Protocol
+from .trace import Trace, TraceLevel
+
+__all__ = ["SynchronousEngine"]
+
+
+class SynchronousEngine:
+    """Steps one broadcast execution over a :class:`RadioNetwork`.
+
+    The engine is restartable only by constructing a new instance; protocol
+    objects are stateful and tied to one execution.
+
+    Args:
+        network: The topology to run on.
+        algorithm: Factory producing each node's protocol.
+        seed: Master seed; node ``v`` receives the RNG
+            ``random.Random(f"{seed}:{v}")`` so runs are reproducible and
+            node randomness is independent of activation order.
+        trace_level: How much channel detail to record.
+        step_hook: Optional callback ``(step, transmitters)`` invoked after
+            each slot; used by tests and the adversary verifier.
+        collision_detection: Model *variant* (not the paper's model): when
+            True, awake listeners observe
+            :data:`~repro.sim.messages.COLLISION_MARKER` on a collision
+            instead of ``None``.  Sleeping nodes are unaffected — a
+            collision carries no content, so it cannot inform.  Used by
+            the Section 4.1 ablation that measures what simulating
+            collision detection with Echo costs.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        algorithm: BroadcastAlgorithm,
+        seed: int = 0,
+        trace_level: TraceLevel = TraceLevel.NONE,
+        step_hook: Callable[[int, tuple[int, ...]], None] | None = None,
+        collision_detection: bool = False,
+    ) -> None:
+        self.network = network
+        self.algorithm = algorithm
+        self.seed = seed
+        self.trace = Trace(level=trace_level)
+        self.step_hook = step_hook
+        self.collision_detection = collision_detection
+        self.step = 0
+        #: label -> live protocol instance; only informed nodes appear here.
+        self.protocols: dict[int, Protocol] = {}
+        #: label -> step at which the node was informed (source: -1).
+        self.wake_times: dict[int, int] = {}
+        self._wake(network.source, step=-1, message=None)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def informed_count(self) -> int:
+        """How many nodes currently hold the source message."""
+        return len(self.protocols)
+
+    @property
+    def all_informed(self) -> bool:
+        """Whether broadcasting has completed."""
+        return len(self.protocols) == self.network.n
+
+    def _make_rng(self, label: int) -> random.Random:
+        return random.Random(f"{self.seed}:{label}")
+
+    def _wake(self, label: int, step: int, message: Message | None) -> None:
+        protocol = self.algorithm.create(label, self.network.r, self._make_rng(label))
+        protocol.wake_step = step
+        self.protocols[label] = protocol
+        self.wake_times[label] = step
+        protocol.on_wake(step, message)
+
+    # ------------------------------------------------------------------
+
+    def run_step(self) -> tuple[int, ...]:
+        """Execute one slot; returns the labels that transmitted.
+
+        The slot proceeds in three phases: collect actions from awake
+        nodes, resolve the channel (hit counting with the exactly-one rule),
+        then deliver observations and wake newly informed nodes.  Nodes
+        woken in this slot first *act* in the next slot, matching the
+        paper's convention that a node informed during stage ``i`` starts
+        transmitting in stage ``i + 1`` at the earliest.
+        """
+        step = self.step
+        out_neighbors = self.network.out_neighbors
+
+        transmissions: dict[int, Message] = {}
+        for label, protocol in self.protocols.items():
+            payload = protocol.next_action(step)
+            if payload is not None:
+                transmissions[label] = Message(sender=label, payload=payload)
+
+        # Channel resolution: count transmitting in-neighbours per receiver.
+        hits: dict[int, int] = {}
+        incoming: dict[int, Message] = {}
+        for sender, message in transmissions.items():
+            for receiver in out_neighbors[sender]:
+                hits[receiver] = hits.get(receiver, 0) + 1
+                incoming[receiver] = message
+
+        deliveries: dict[int, int] = {}
+        woken: list[int] = []
+        collisions: list[int] = []
+        collided_listeners: set[int] = set()
+        record_full = self.trace.level is TraceLevel.FULL
+        for receiver, count in hits.items():
+            if receiver in transmissions:
+                continue  # half-duplex: transmitters hear nothing
+            if count == 1:
+                message = incoming[receiver]
+                deliveries[receiver] = message.sender
+                protocol = self.protocols.get(receiver)
+                if protocol is None:
+                    self._wake(receiver, step, message)
+                    woken.append(receiver)
+                else:
+                    protocol.observe(step, message)
+            else:
+                if record_full:
+                    collisions.append(receiver)
+                # Model variant: collision detection lets awake listeners
+                # see the collision (it still carries no content, so it
+                # never wakes a sleeper).
+                if self.collision_detection and receiver in self.protocols:
+                    collided_listeners.add(receiver)
+
+        # Nodes that were awake and did not successfully receive observe
+        # None (or the collision marker under the CD variant).
+        from .messages import COLLISION_MARKER
+
+        for label, protocol in list(self.protocols.items()):
+            if self.wake_times[label] == step:
+                continue  # just woken; on_wake already saw the message
+            if label not in deliveries:
+                protocol.observe(
+                    step, COLLISION_MARKER if label in collided_listeners else None
+                )
+
+        transmitter_labels = tuple(sorted(transmissions))
+        if self.trace.level is not TraceLevel.NONE:
+            self.trace.record(
+                step=step,
+                transmitters=transmitter_labels,
+                deliveries=deliveries,
+                collisions=tuple(sorted(collisions)),
+                woken=tuple(sorted(woken)),
+                informed=self.informed_count,
+            )
+        if self.step_hook is not None:
+            self.step_hook(step, transmitter_labels)
+        self.step += 1
+        return transmitter_labels
+
+    def run(self, max_steps: int, stop_when_informed: bool = True) -> int:
+        """Run until completion or the step limit.
+
+        Args:
+            max_steps: Hard cap on the number of slots to execute.
+            stop_when_informed: Stop as soon as every node is informed
+                (the usual broadcasting-time measurement).  When False the
+                engine always executes exactly ``max_steps`` slots, which
+                some fixed-schedule algorithms need.
+
+        Returns:
+            The number of slots executed.
+        """
+        if max_steps < 0:
+            raise ConfigurationError(f"max_steps must be non-negative, got {max_steps}")
+        executed = 0
+        while executed < max_steps:
+            if stop_when_informed and self.all_informed:
+                break
+            self.run_step()
+            executed += 1
+        return executed
+
+    @property
+    def completion_time(self) -> int | None:
+        """Broadcasting time: slots needed until the last node was informed.
+
+        A node woken in slot ``t`` (0-based) was informed after ``t + 1``
+        slots.  ``None`` while some node is still uninformed.  Zero for the
+        degenerate single-node network.
+        """
+        if not self.all_informed:
+            return None
+        latest = max(self.wake_times.values())
+        return latest + 1  # source has wake time -1 -> contributes 0

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the radio-network simulator.
+
+All simulator errors derive from :class:`SimulationError` so callers can
+catch the whole family with one clause while still being able to react to
+specific failure modes (model violations vs. configuration mistakes).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "NetworkError",
+    "ProtocolViolationError",
+    "BroadcastIncompleteError",
+    "ConfigurationError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.sim`."""
+
+
+class NetworkError(SimulationError):
+    """The network definition is malformed.
+
+    Raised for duplicate labels, labels outside ``{0, ..., r}``, a missing
+    source (label ``0``), self-loops, or a graph in which some node is
+    unreachable from the source (broadcasting could never complete there).
+    """
+
+
+class ProtocolViolationError(SimulationError):
+    """A protocol broke a rule of the radio model.
+
+    The model of Kowalski & Pelc forbids *spontaneous transmissions*: a node
+    that has not yet received the source message must stay silent.  The
+    engine enforces this structurally (sleeping nodes are never asked to
+    act), but a protocol can still misbehave by, e.g., returning a message
+    with a forged sender label; those cases raise this error.
+    """
+
+
+class BroadcastIncompleteError(SimulationError):
+    """A run hit its step limit before informing every node.
+
+    Carries the partial result so callers can inspect how far the broadcast
+    progressed.  Only raised when the caller asked for strict completion;
+    the default driver returns a result with ``completed=False`` instead.
+    """
+
+    def __init__(self, message: str, result: object | None = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+class ConfigurationError(SimulationError):
+    """An algorithm or engine was configured with inconsistent parameters."""

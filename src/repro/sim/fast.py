@@ -1,0 +1,200 @@
+"""Vectorised engine for *oblivious* algorithms.
+
+Both randomized algorithms studied in the paper — the Kowalski–Pelc stage
+algorithm and BGI Decay — as well as the round-robin and selective-family
+deterministic baselines are *oblivious*: a node's decision to transmit in
+slot ``t`` depends only on ``(t, label, wake slot, coin flips)``, never on
+received message contents.  For such algorithms the channel can be resolved
+with one sparse matrix-vector product per slot, which makes the large
+parameter sweeps of EXPERIMENTS.md feasible in pure Python.
+
+Semantics are identical to :class:`repro.sim.engine.SynchronousEngine`
+(verified by cross-engine tests): exactly-one reception, half-duplex, no
+spontaneous transmissions, and nodes woken in slot ``t`` first act in
+``t + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol as TypingProtocol, runtime_checkable
+
+import numpy as np
+from scipy import sparse
+
+from .errors import ConfigurationError
+from .network import RadioNetwork
+from .run import BroadcastResult, _layer_times
+from .trace import Trace, TraceLevel
+
+__all__ = ["VectorizedAlgorithm", "FastEngine", "run_broadcast_fast", "ASLEEP"]
+
+#: Sentinel wake step for nodes that are not informed yet.
+ASLEEP: int = np.iinfo(np.int64).max
+
+
+@runtime_checkable
+class VectorizedAlgorithm(TypingProtocol):
+    """Structural interface for algorithms runnable on :class:`FastEngine`.
+
+    Implementors also subclass
+    :class:`~repro.sim.protocol.BroadcastAlgorithm` so the same object runs
+    on either engine.
+    """
+
+    name: str
+    deterministic: bool
+
+    def transmit_mask(
+        self,
+        step: int,
+        labels: np.ndarray,
+        wake_steps: np.ndarray,
+        r: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vector of transmit decisions for slot ``step``.
+
+        Args:
+            step: Global slot number.
+            labels: ``int64`` array of node labels (fixed across steps).
+            wake_steps: ``int64`` array; ``ASLEEP`` for uninformed nodes.
+                Implementations may ignore sleepers — the engine masks them
+                out — but must not let them influence other nodes.
+            r: Public label bound.
+            rng: Run-level numpy generator for coin flips.
+
+        Returns:
+            Boolean array: True where the node transmits.
+        """
+        ...  # pragma: no cover - protocol definition
+
+
+class FastEngine:
+    """Array-based synchronous engine.
+
+    Args:
+        network: Topology (directed or undirected).
+        algorithm: An oblivious algorithm implementing
+            :class:`VectorizedAlgorithm`.
+        seed: Seed for the numpy generator handed to the algorithm.
+    """
+
+    def __init__(self, network: RadioNetwork, algorithm: VectorizedAlgorithm, seed: int = 0):
+        if not isinstance(algorithm, VectorizedAlgorithm):
+            raise ConfigurationError(
+                f"{algorithm!r} does not implement the vectorised interface"
+            )
+        self.network = network
+        self.algorithm = algorithm
+        self.rng = np.random.default_rng(seed)
+        self.labels = np.array(network.nodes, dtype=np.int64)
+        self._index = {label: i for i, label in enumerate(self.labels)}
+        self.adjacency = self._build_adjacency(network)
+        self.wake_steps = np.full(network.n, ASLEEP, dtype=np.int64)
+        self.wake_steps[self._index[network.source]] = -1
+        self.step = 0
+        # Stateful schedules (e.g. Decay's per-phase activity mask) get a
+        # fresh-run notification so algorithm objects can be reused.
+        reset = getattr(algorithm, "reset_run", None)
+        if reset is not None:
+            reset(network.n)
+
+    def _build_adjacency(self, network: RadioNetwork) -> sparse.csr_matrix:
+        rows, cols = [], []
+        for sender, nbrs in network.out_neighbors.items():
+            si = self._index[sender]
+            for receiver in nbrs:
+                rows.append(si)
+                cols.append(self._index[receiver])
+        n = network.n
+        data = np.ones(len(rows), dtype=np.int32)
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n, n), dtype=np.int32
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def awake(self) -> np.ndarray:
+        """Boolean mask of informed nodes."""
+        return self.wake_steps != ASLEEP
+
+    @property
+    def all_informed(self) -> bool:
+        return bool(self.awake.all())
+
+    @property
+    def informed_count(self) -> int:
+        return int(self.awake.sum())
+
+    def run_step(self) -> np.ndarray:
+        """Execute one slot; returns the boolean transmit mask used."""
+        awake = self.awake
+        mask = self.algorithm.transmit_mask(
+            self.step, self.labels, self.wake_steps, self.network.r, self.rng
+        )
+        mask = np.asarray(mask, dtype=bool) & awake  # no spontaneous transmissions
+        if mask.any():
+            hits = mask.astype(np.int32) @ self.adjacency
+            # Exactly-one rule; transmitters cannot receive (half-duplex) but
+            # they are already informed, so only sleepers matter for waking.
+            newly = (~awake) & (np.asarray(hits).ravel() == 1)
+            self.wake_steps[newly] = self.step
+        self.step += 1
+        return mask
+
+    def run(self, max_steps: int, stop_when_informed: bool = True) -> int:
+        """Run until completion or the step limit; returns slots executed."""
+        executed = 0
+        while executed < max_steps:
+            if stop_when_informed and self.all_informed:
+                break
+            self.run_step()
+            executed += 1
+        return executed
+
+    @property
+    def completion_time(self) -> int | None:
+        """Slots needed to inform every node, or ``None`` if incomplete."""
+        if not self.all_informed:
+            return None
+        return int(self.wake_steps.max()) + 1
+
+    def wake_times(self) -> dict[int, int]:
+        """Map informed labels to their wake slots."""
+        return {
+            int(label): int(ws)
+            for label, ws in zip(self.labels, self.wake_steps)
+            if ws != ASLEEP
+        }
+
+
+def run_broadcast_fast(
+    network: RadioNetwork,
+    algorithm: VectorizedAlgorithm,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> BroadcastResult:
+    """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
+    if max_steps is None:
+        hint = getattr(algorithm, "max_steps_hint", None)
+        max_steps = hint(network.n, network.r) if hint is not None else None
+    if max_steps is None:
+        max_steps = 64 * network.n * (network.n.bit_length() + 1)
+    engine = FastEngine(network, algorithm, seed=seed)
+    engine.run(max_steps)
+    completed = engine.all_informed
+    time = engine.completion_time if completed else engine.step
+    wake_times = engine.wake_times()
+    return BroadcastResult(
+        completed=completed,
+        time=time,
+        informed=engine.informed_count,
+        n=network.n,
+        radius=network.radius,
+        algorithm=algorithm.name,
+        seed=seed,
+        wake_times=wake_times,
+        layer_times=_layer_times(network, wake_times),
+        trace=Trace(level=TraceLevel.NONE),
+    )

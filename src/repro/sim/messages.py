@@ -1,0 +1,65 @@
+"""Messages exchanged on the radio channel.
+
+A transmission in the model is an arbitrary payload tagged with the sender's
+label.  The model places no bound on message size — algorithms in the paper
+piggyback their entire control state (token orders, Echo requests, ranges)
+on top of the source message, and the receiver deduces what it needs because
+"programs of all nodes are the same" (Section 3.1).
+
+Every message implicitly carries the source message: in this simulator a
+node counts as *informed* as soon as it receives any message, which matches
+the paper's convention that all transmitted messages contain the broadcast
+payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message", "SOURCE_PAYLOAD", "source_message", "CollisionMarker", "COLLISION_MARKER"]
+
+
+#: Marker object used as the payload of the original source message.
+SOURCE_PAYLOAD: str = "<source-message>"
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One transmission on the radio channel.
+
+    Attributes:
+        sender: Label of the transmitting node.  The engine verifies that
+            this matches the node that actually produced the message.
+        payload: Arbitrary, algorithm-specific content.  Must be treated as
+            immutable; protocols share message objects across nodes.
+    """
+
+    sender: int
+    payload: Any = SOURCE_PAYLOAD
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Message(sender={self.sender}, payload={self.payload!r})"
+
+
+def source_message() -> Message:
+    """Return the message the source (label 0) injects into the network."""
+    return Message(sender=0, payload=SOURCE_PAYLOAD)
+
+
+@dataclass(frozen=True, slots=True)
+class CollisionMarker:
+    """Observation delivered under the *collision detection* model variant.
+
+    The paper's model cannot distinguish collision from silence — that is
+    why Section 4.1 simulates collision detection with Echo.  For the
+    ablation that quantifies the cost of the simulation, the engine can be
+    run with ``collision_detection=True``: awake listeners with two or
+    more transmitting in-neighbours then observe this marker instead of
+    ``None``.  Collisions still carry no content, so they never *wake* a
+    sleeping node.
+    """
+
+
+#: Singleton instance protocols compare against.
+COLLISION_MARKER = CollisionMarker()

@@ -1,0 +1,150 @@
+"""Protocol and algorithm abstractions.
+
+A *protocol* is the per-node program.  The paper's model is uniform: every
+node runs the same program, parameterised only by its own label and the
+label bound ``r`` (Section 1.3).  An *algorithm* is the factory that
+instantiates the protocol at every node.
+
+Lifecycle enforced by the engine
+--------------------------------
+
+1.  A node starts *asleep*.  Asleep nodes never transmit (the model forbids
+    spontaneous transmissions) and observe nothing — in the paper's terms
+    their history is the empty history, and the action function is 0 on the
+    empty history.
+2.  When the node first receives a message (or, for the source, at step 0
+    before the first slot) the engine calls :meth:`Protocol.on_wake`.
+3.  In every subsequent slot the engine calls :meth:`Protocol.next_action`;
+    returning a payload means *transmit*, returning ``None`` means *listen*.
+4.  After the slot resolves, the engine calls :meth:`Protocol.observe` with
+    the received message, or ``None`` for silence **or** collision (the two
+    are indistinguishable) **or** if the node itself transmitted
+    (half-duplex: a transmitter hears nothing).
+
+Because a protocol's behaviour is a pure function of
+``(label, r, wake observation, subsequent observations)`` for deterministic
+algorithms, the lower-bound adversary of Section 3 can extract the paper's
+action function pi(v, H) simply by feeding abstract histories through a
+protocol instance (see :mod:`repro.adversary.histories`).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any
+
+from .messages import Message
+
+__all__ = ["Protocol", "BroadcastAlgorithm", "ObliviousTransmitter"]
+
+
+class Protocol(ABC):
+    """Per-node program.  Subclasses implement the node's behaviour.
+
+    Attributes:
+        label: This node's label (the only identity it knows).
+        r: The public upper bound on labels; ``r`` is linear in ``n``.
+        rng: Private randomness source, deterministic per (run seed, label).
+            Deterministic protocols must not touch it.
+        wake_step: Step at which the node woke, or ``None`` while asleep.
+            Set by the engine; ``-1`` for the source (awake before step 0).
+    """
+
+    def __init__(self, label: int, r: int, rng: random.Random) -> None:
+        self.label = label
+        self.r = r
+        self.rng = rng
+        self.wake_step: int | None = None
+
+    @abstractmethod
+    def on_wake(self, step: int, message: Message | None) -> None:
+        """Called once, when the node becomes informed.
+
+        Args:
+            step: The slot in which the first message arrived; ``-1`` for
+                the source, which is informed before the execution starts.
+            message: The waking message, or ``None`` for the source.
+        """
+
+    @abstractmethod
+    def next_action(self, step: int) -> Any | None:
+        """Decide this slot's action.
+
+        Returns:
+            The payload to transmit, or ``None`` to listen.  The engine
+            wraps payloads into :class:`~repro.sim.messages.Message` tagged
+            with this node's label.
+        """
+
+    def observe(self, step: int, message: Message | None) -> None:
+        """Receive the outcome of slot ``step``.
+
+        ``message`` is ``None`` when the node transmitted itself, when no
+        in-neighbour transmitted, or when two or more did (collision) — the
+        model makes these cases indistinguishable.  Protocols that only act
+        on their own clock may ignore this hook.
+        """
+
+    # ------------------------------------------------------------------
+
+    @property
+    def awake(self) -> bool:
+        """Whether the node has been informed yet."""
+        return self.wake_step is not None
+
+
+class BroadcastAlgorithm(ABC):
+    """Factory for per-node protocols; represents one broadcasting algorithm.
+
+    Attributes:
+        name: Short human-readable identifier used in results and tables.
+        deterministic: True when the protocol never consults its RNG.  The
+            lower-bound adversary (Section 3) only applies to deterministic
+            algorithms.
+    """
+
+    name: str = "abstract"
+    deterministic: bool = False
+
+    @abstractmethod
+    def create(self, label: int, r: int, rng: random.Random) -> Protocol:
+        """Instantiate the protocol for the node with the given label."""
+
+    def max_steps_hint(self, n: int, r: int) -> int | None:
+        """Optional cap on how long a run of this algorithm can be useful.
+
+        Drivers use this to choose a default step limit; ``None`` means the
+        caller must supply one.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ObliviousTransmitter(Protocol):
+    """Base class for *oblivious* protocols.
+
+    An oblivious protocol's transmission decisions depend only on the global
+    step number, its label, and its wake step — never on message contents or
+    on what it heard after waking.  Both randomized algorithms in the paper
+    (Kowalski–Pelc stages and BGI Decay) and the round-robin baseline are
+    oblivious, which lets the vectorised engine (:mod:`repro.sim.fast`)
+    execute them over numpy arrays.
+
+    Subclasses implement :meth:`wants_to_transmit`; the source message is
+    the only payload ever sent.
+    """
+
+    def on_wake(self, step: int, message: Message | None) -> None:
+        """Oblivious protocols keep no message state; nothing to record."""
+
+    @abstractmethod
+    def wants_to_transmit(self, step: int) -> bool:
+        """Whether to transmit the source message in slot ``step``."""
+
+    def next_action(self, step: int) -> Any | None:
+        from .messages import SOURCE_PAYLOAD
+
+        return SOURCE_PAYLOAD if self.wants_to_transmit(step) else None

@@ -1,0 +1,162 @@
+"""High-level drivers: run one broadcast, or many for Monte-Carlo estimates.
+
+These are the functions most users call::
+
+    from repro import run_broadcast
+    result = run_broadcast(network, algorithm, seed=7)
+    print(result.time)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .engine import SynchronousEngine
+from .errors import BroadcastIncompleteError, ConfigurationError
+from .network import RadioNetwork
+from .protocol import BroadcastAlgorithm
+from .trace import Trace, TraceLevel
+
+__all__ = ["BroadcastResult", "run_broadcast", "repeat_broadcast"]
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of a single broadcast execution.
+
+    Attributes:
+        completed: Whether every node was informed within the step limit.
+        time: Broadcasting time in slots (the paper's measure), or the
+            number of executed slots if incomplete.
+        informed: How many nodes held the source message at the end.
+        n: Network size.
+        radius: The network's radius D.
+        algorithm: Name of the algorithm that ran.
+        seed: Seed used for this run.
+        wake_times: label -> slot at which the node was informed
+            (source: -1).
+        layer_times: For each BFS layer j, the slot by which the whole
+            layer was informed (index 0 is the source layer, always -1);
+            ``None`` entries mark layers not fully informed.
+        trace: Channel trace at the requested level of detail.
+    """
+
+    completed: bool
+    time: int
+    informed: int
+    n: int
+    radius: int
+    algorithm: str
+    seed: int
+    wake_times: dict[int, int] = field(repr=False, default_factory=dict)
+    layer_times: tuple[int | None, ...] = field(repr=False, default=())
+    trace: Trace = field(repr=False, default_factory=Trace)
+
+    @property
+    def slowdown_vs_radius(self) -> float:
+        """Ratio of broadcasting time to the trivial lower bound D."""
+        return self.time / max(1, self.radius)
+
+
+def _layer_times(network: RadioNetwork, wake_times: dict[int, int]) -> tuple[int | None, ...]:
+    times: list[int | None] = []
+    for layer in network.layers():
+        if all(v in wake_times for v in layer):
+            times.append(max(wake_times[v] for v in layer))
+        else:
+            times.append(None)
+    return tuple(times)
+
+
+def run_broadcast(
+    network: RadioNetwork,
+    algorithm: BroadcastAlgorithm,
+    seed: int = 0,
+    max_steps: int | None = None,
+    trace_level: TraceLevel = TraceLevel.NONE,
+    require_completion: bool = False,
+    collision_detection: bool = False,
+) -> BroadcastResult:
+    """Execute one broadcast and measure its time.
+
+    Args:
+        network: Topology to broadcast on.
+        algorithm: The broadcasting algorithm.
+        seed: Master seed for the per-node RNGs.
+        max_steps: Step limit.  Defaults to the algorithm's own hint, and
+            failing that to ``64 * n * (log2(n) + 1)`` — comfortably above
+            every upper bound proved in the paper.
+        trace_level: Channel detail to record.
+        require_completion: Raise
+            :class:`~repro.sim.errors.BroadcastIncompleteError` instead of
+            returning a partial result when the limit is hit.
+        collision_detection: Run the collision-detection model variant
+            (see :class:`~repro.sim.engine.SynchronousEngine`); requires a
+            CD-aware algorithm.
+
+    Returns:
+        A :class:`BroadcastResult`.
+    """
+    if max_steps is None:
+        max_steps = algorithm.max_steps_hint(network.n, network.r)
+    if max_steps is None:
+        max_steps = 64 * network.n * (network.n.bit_length() + 1)
+    engine = SynchronousEngine(
+        network,
+        algorithm,
+        seed=seed,
+        trace_level=trace_level,
+        collision_detection=collision_detection,
+    )
+    engine.run(max_steps)
+    completed = engine.all_informed
+    time = engine.completion_time if completed else engine.step
+    result = BroadcastResult(
+        completed=completed,
+        time=time,
+        informed=engine.informed_count,
+        n=network.n,
+        radius=network.radius,
+        algorithm=algorithm.name,
+        seed=seed,
+        wake_times=dict(engine.wake_times),
+        layer_times=_layer_times(network, engine.wake_times),
+        trace=engine.trace,
+    )
+    if require_completion and not completed:
+        raise BroadcastIncompleteError(
+            f"{algorithm.name} informed {result.informed}/{network.n} nodes "
+            f"within {max_steps} steps",
+            result=result,
+        )
+    return result
+
+
+def repeat_broadcast(
+    network: RadioNetwork,
+    algorithm: BroadcastAlgorithm,
+    runs: int,
+    base_seed: int = 0,
+    max_steps: int | None = None,
+    require_completion: bool = True,
+) -> list[BroadcastResult]:
+    """Run the same broadcast ``runs`` times with seeds ``base_seed + i``.
+
+    Used to estimate expected broadcasting time (Corollary 1) and its
+    spread.  Deterministic algorithms are detected and run only once — all
+    repetitions would be identical.
+    """
+    if runs < 1:
+        raise ConfigurationError(f"runs must be positive, got {runs}")
+    if algorithm.deterministic:
+        runs = 1
+    return [
+        run_broadcast(
+            network,
+            algorithm,
+            seed=base_seed + i,
+            max_steps=max_steps,
+            require_completion=require_completion,
+        )
+        for i in range(runs)
+    ]

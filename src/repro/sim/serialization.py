@@ -1,0 +1,128 @@
+"""JSON serialization for networks and results.
+
+Reproducible experiments need durable artifacts: a hard instance found by
+search, the adversarial network built against an algorithm, or a batch of
+results worth re-analysing later.  This module round-trips
+:class:`~repro.sim.network.RadioNetwork` and
+:class:`~repro.sim.run.BroadcastResult` through plain JSON documents with
+a format marker and version, so files stay readable across releases.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from .errors import ConfigurationError
+from .network import RadioNetwork
+from .run import BroadcastResult
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_network",
+    "load_network",
+    "save_result",
+    "load_result",
+]
+
+_FORMAT_NETWORK = "repro.radio-network"
+_FORMAT_RESULT = "repro.broadcast-result"
+_VERSION = 1
+
+
+def network_to_dict(network: RadioNetwork) -> dict[str, Any]:
+    """Plain-dict form of a network (JSON-safe)."""
+    if network.is_directed:
+        edges = sorted(
+            (u, v) for u, nbrs in network.out_neighbors.items() for v in nbrs
+        )
+    else:
+        edges = sorted(
+            (u, v)
+            for u, nbrs in network.out_neighbors.items()
+            for v in nbrs
+            if u < v
+        )
+    return {
+        "format": _FORMAT_NETWORK,
+        "version": _VERSION,
+        "directed": network.is_directed,
+        "r": network.r,
+        "nodes": list(network.nodes),
+        "edges": [list(edge) for edge in edges],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> RadioNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    if data.get("format") != _FORMAT_NETWORK:
+        raise ConfigurationError(
+            f"not a radio-network document (format={data.get('format')!r})"
+        )
+    edges = [tuple(edge) for edge in data["edges"]]
+    if data["directed"]:
+        return RadioNetwork.directed(data["nodes"], edges, r=data["r"])
+    return RadioNetwork.undirected(data["nodes"], edges, r=data["r"])
+
+
+def result_to_dict(result: BroadcastResult) -> dict[str, Any]:
+    """Plain-dict form of a result (the trace is intentionally dropped:
+    traces are debugging artifacts, not measurements)."""
+    return {
+        "format": _FORMAT_RESULT,
+        "version": _VERSION,
+        "completed": result.completed,
+        "time": result.time,
+        "informed": result.informed,
+        "n": result.n,
+        "radius": result.radius,
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "wake_times": {str(label): step for label, step in result.wake_times.items()},
+        "layer_times": list(result.layer_times),
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> BroadcastResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    if data.get("format") != _FORMAT_RESULT:
+        raise ConfigurationError(
+            f"not a broadcast-result document (format={data.get('format')!r})"
+        )
+    return BroadcastResult(
+        completed=data["completed"],
+        time=data["time"],
+        informed=data["informed"],
+        n=data["n"],
+        radius=data["radius"],
+        algorithm=data["algorithm"],
+        seed=data["seed"],
+        wake_times={int(label): step for label, step in data["wake_times"].items()},
+        layer_times=tuple(
+            step if step is not None else None for step in data["layer_times"]
+        ),
+    )
+
+
+def save_network(network: RadioNetwork, path: str | pathlib.Path) -> None:
+    """Write a network to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(network_to_dict(network), indent=1))
+
+
+def load_network(path: str | pathlib.Path) -> RadioNetwork:
+    """Read a network from a JSON file (validates on construction)."""
+    return network_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_result(result: BroadcastResult, path: str | pathlib.Path) -> None:
+    """Write a result to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(result_to_dict(result), indent=1))
+
+
+def load_result(path: str | pathlib.Path) -> BroadcastResult:
+    """Read a result from a JSON file."""
+    return result_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,113 @@
+"""Execution traces.
+
+Traces serve three audiences: tests (asserting exact channel behaviour),
+the lower-bound adversary verifier (comparing real histories against
+abstract ones, Lemma 9), and humans (step-by-step walkthroughs in the
+examples).  Because full traces are memory-heavy, recording is opt-in and
+levelled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["TraceLevel", "StepRecord", "Trace"]
+
+
+class TraceLevel(enum.Enum):
+    """How much detail to record per step."""
+
+    #: Record nothing (fastest; the default for benchmarks).
+    NONE = 0
+    #: Record per-step informed counts and newly woken nodes.
+    PROGRESS = 1
+    #: Record transmitters, deliveries and collisions for every step.
+    FULL = 2
+
+
+@dataclass(frozen=True, slots=True)
+class StepRecord:
+    """Everything that happened on the channel in one slot.
+
+    Attributes:
+        step: Slot index (0-based).
+        transmitters: Labels that transmitted, sorted.
+        deliveries: Map receiver -> sender for every successful reception
+            (exactly one transmitting in-neighbour).
+        collisions: Receivers that had two or more transmitting
+            in-neighbours this slot.  The nodes themselves cannot tell; this
+            is the omniscient view used by tests and analyses.
+        woken: Nodes informed for the first time in this slot.
+    """
+
+    step: int
+    transmitters: tuple[int, ...]
+    deliveries: dict[int, int]
+    collisions: tuple[int, ...]
+    woken: tuple[int, ...]
+
+
+@dataclass
+class Trace:
+    """Accumulated trace of one run."""
+
+    level: TraceLevel = TraceLevel.NONE
+    steps: list[StepRecord] = field(default_factory=list)
+    informed_counts: list[int] = field(default_factory=list)
+    wake_times: dict[int, int] = field(default_factory=dict)
+
+    def record(
+        self,
+        step: int,
+        transmitters: tuple[int, ...],
+        deliveries: dict[int, int],
+        collisions: tuple[int, ...],
+        woken: tuple[int, ...],
+        informed: int,
+    ) -> None:
+        """Store one step at the configured level of detail."""
+        if self.level is TraceLevel.NONE:
+            return
+        for v in woken:
+            self.wake_times[v] = step
+        self.informed_counts.append(informed)
+        if self.level is TraceLevel.FULL:
+            self.steps.append(
+                StepRecord(
+                    step=step,
+                    transmitters=transmitters,
+                    deliveries=dict(deliveries),
+                    collisions=collisions,
+                    woken=woken,
+                )
+            )
+
+    def total_transmissions(self) -> int:
+        """Total number of (node, slot) transmissions — an energy proxy."""
+        if self.level is not TraceLevel.FULL:
+            raise ValueError("transmission counting requires TraceLevel.FULL")
+        return sum(len(record.transmitters) for record in self.steps)
+
+    def total_collisions(self) -> int:
+        """Total number of (receiver, slot) collision events."""
+        if self.level is not TraceLevel.FULL:
+            raise ValueError("collision counting requires TraceLevel.FULL")
+        return sum(len(record.collisions) for record in self.steps)
+
+    def format_timeline(self, max_steps: int | None = None) -> str:
+        """Human-readable per-step timeline (used by examples)."""
+        if self.level is not TraceLevel.FULL:
+            raise ValueError("timeline formatting requires TraceLevel.FULL")
+        lines = []
+        for record in self.steps[:max_steps]:
+            parts = [f"step {record.step:>5}: tx={list(record.transmitters)}"]
+            if record.deliveries:
+                got = ", ".join(f"{r}<-{s}" for r, s in sorted(record.deliveries.items()))
+                parts.append(f"delivered [{got}]")
+            if record.collisions:
+                parts.append(f"collisions at {list(record.collisions)}")
+            if record.woken:
+                parts.append(f"woken {list(record.woken)}")
+            lines.append("  ".join(parts))
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Topology generators for radio networks."""
+
+from .generators import (
+    binary_tree,
+    caterpillar,
+    complete_graph,
+    cycle,
+    gnp_connected,
+    grid,
+    hypercube,
+    path,
+    random_geometric,
+    random_tree,
+    relabel_network,
+    star,
+)
+from .hard_instances import (
+    HardInstanceReport,
+    random_radius2,
+    search_radius2_hard_instance,
+)
+from .layered import (
+    complete_layered,
+    directed_complete_layered,
+    km_hard_layered,
+    layer_sizes_for,
+    random_layered,
+    uniform_complete_layered,
+)
+
+__all__ = [
+    "HardInstanceReport",
+    "binary_tree",
+    "caterpillar",
+    "complete_graph",
+    "complete_layered",
+    "directed_complete_layered",
+    "cycle",
+    "gnp_connected",
+    "grid",
+    "hypercube",
+    "km_hard_layered",
+    "layer_sizes_for",
+    "path",
+    "random_geometric",
+    "random_layered",
+    "random_radius2",
+    "random_tree",
+    "relabel_network",
+    "search_radius2_hard_instance",
+    "star",
+    "uniform_complete_layered",
+]

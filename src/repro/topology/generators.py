@@ -1,0 +1,241 @@
+"""General-purpose radio network topologies.
+
+All generators return a validated
+:class:`~repro.sim.network.RadioNetwork` whose source is label ``0``.
+
+Label assignment matters in this model: deterministic algorithms key their
+schedules on labels, so every generator accepts ``relabel`` to either keep
+a structured labelling (useful for debugging) or to apply a seeded random
+permutation (fairer for benchmarking deterministic algorithms).  The source
+keeps label ``0`` in both cases, as the model requires.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+from ..sim.errors import ConfigurationError
+from ..sim.network import RadioNetwork
+
+__all__ = [
+    "path",
+    "cycle",
+    "star",
+    "complete_graph",
+    "binary_tree",
+    "random_tree",
+    "grid",
+    "hypercube",
+    "gnp_connected",
+    "random_geometric",
+    "caterpillar",
+    "relabel_network",
+]
+
+
+def _finalize(
+    n: int,
+    edges: list[tuple[int, int]],
+    relabel: str,
+    seed: int | None,
+    r: int | None = None,
+) -> RadioNetwork:
+    """Apply the labelling policy and build the network."""
+    if relabel not in ("sorted", "shuffled"):
+        raise ConfigurationError(f"relabel must be 'sorted' or 'shuffled', got {relabel!r}")
+    if relabel == "shuffled":
+        rng = random.Random(seed)
+        perm = list(range(1, n))
+        rng.shuffle(perm)
+        mapping = {0: 0, **{old + 1: new for old, new in zip(range(n - 1), perm)}}
+        edges = [(mapping[u], mapping[v]) for u, v in edges]
+    return RadioNetwork.undirected(range(n), edges, r=r)
+
+
+def relabel_network(network: RadioNetwork, seed: int) -> RadioNetwork:
+    """Return a copy with labels (except the source) randomly permuted."""
+    rng = random.Random(seed)
+    others = [v for v in network.nodes if v != 0]
+    shuffled = others[:]
+    rng.shuffle(shuffled)
+    mapping = {0: 0, **dict(zip(others, shuffled))}
+    edges = {
+        tuple(sorted((mapping[u], mapping[v])))
+        for u, nbrs in network.out_neighbors.items()
+        for v in nbrs
+    }
+    return RadioNetwork.undirected(
+        [mapping[v] for v in network.nodes], sorted(edges), r=network.r
+    )
+
+
+def path(n: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """Path 0 - 1 - ... - (n-1); radius ``n - 1``, the extreme-D topology."""
+    if n < 1:
+        raise ConfigurationError("path needs at least one node")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def cycle(n: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """Cycle on ``n >= 3`` nodes; radius ``floor(n/2)``."""
+    if n < 3:
+        raise ConfigurationError("cycle needs at least three nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def star(n: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """Star with the source at the centre; radius 1."""
+    if n < 2:
+        raise ConfigurationError("star needs at least two nodes")
+    edges = [(0, i) for i in range(1, n)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def complete_graph(n: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """Complete graph K_n; radius 1 with maximal contention."""
+    if n < 2:
+        raise ConfigurationError("complete graph needs at least two nodes")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def binary_tree(n: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """Complete binary tree (heap numbering) rooted at the source."""
+    if n < 1:
+        raise ConfigurationError("binary tree needs at least one node")
+    edges = [(i, (i - 1) // 2) for i in range(1, n)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def random_tree(n: int, seed: int = 0, relabel: str = "sorted") -> RadioNetwork:
+    """Uniform random recursive tree rooted at the source."""
+    if n < 1:
+        raise ConfigurationError("random tree needs at least one node")
+    rng = random.Random(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def grid(rows: int, cols: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """rows x cols grid; source at a corner, radius ``rows + cols - 2``."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    def node(i: int, j: int) -> int:
+        return i * cols + j
+
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                edges.append((node(i, j), node(i, j + 1)))
+            if i + 1 < rows:
+                edges.append((node(i, j), node(i + 1, j)))
+    return _finalize(rows * cols, edges, relabel, seed)
+
+
+def hypercube(dim: int, relabel: str = "sorted", seed: int | None = None) -> RadioNetwork:
+    """Boolean hypercube of dimension ``dim``; n = 2^dim, radius = dim."""
+    if dim < 1:
+        raise ConfigurationError("hypercube dimension must be positive")
+    n = 1 << dim
+    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
+    return _finalize(n, edges, relabel, seed)
+
+
+def gnp_connected(
+    n: int, p: float, seed: int = 0, relabel: str = "sorted", max_attempts: int = 200
+) -> RadioNetwork:
+    """Erdos-Renyi G(n, p) conditioned on connectivity.
+
+    Resamples until connected; for ``p`` well below the connectivity
+    threshold ``ln(n)/n`` this raises after ``max_attempts`` tries.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ConfigurationError(f"p must be in (0, 1], got {p}")
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        edges = [
+            (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p
+        ]
+        if _is_connected(n, edges):
+            return _finalize(n, edges, relabel, seed)
+    raise ConfigurationError(
+        f"no connected G({n}, {p}) sample found in {max_attempts} attempts"
+    )
+
+
+def random_geometric(
+    n: int,
+    radius: float | None = None,
+    seed: int = 0,
+    relabel: str = "sorted",
+    max_attempts: int = 200,
+) -> RadioNetwork:
+    """Unit-disk graph: the canonical *ad hoc* radio network.
+
+    ``n`` transceivers are dropped uniformly in the unit square and two
+    hear each other iff their distance is at most ``radius``.  The default
+    radius ``sqrt(2 ln(n) / n)`` sits just above the connectivity
+    threshold, producing sparse multi-hop networks like those motivating
+    the paper's ad hoc setting.
+    """
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(max(2, n)) / n)
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        r2 = radius * radius
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (points[i][0] - points[j][0]) ** 2 + (points[i][1] - points[j][1]) ** 2 <= r2
+        ]
+        if _is_connected(n, edges):
+            return _finalize(n, edges, relabel, seed)
+    raise ConfigurationError(
+        f"no connected unit-disk graph with n={n}, radius={radius:.4f} "
+        f"found in {max_attempts} attempts; increase the radius"
+    )
+
+
+def caterpillar(
+    spine: int, legs_per_node: int, relabel: str = "sorted", seed: int | None = None
+) -> RadioNetwork:
+    """Caterpillar: a path with ``legs_per_node`` leaves on every spine node.
+
+    Mixes long distance (the spine) with local contention (the legs) —
+    a stress case for stage-based randomized algorithms.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ConfigurationError("spine must be positive and legs non-negative")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_label = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, next_label))
+            next_label += 1
+    return _finalize(next_label, edges, relabel, seed)
+
+
+def _is_connected(n: int, edges: Iterable[tuple[int, int]]) -> bool:
+    """Union-find connectivity check used by the rejection samplers."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = n
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            components -= 1
+    return components == 1

@@ -1,0 +1,116 @@
+"""Hard-instance search.
+
+The Omega(log^2 n) lower bound of Alon, Bar-Noy, Linial and Peleg holds on
+a family of radius-2 networks whose *existence* is proved probabilistically
+— no explicit construction is known.  To reproduce its effect we search:
+radius-2 layered graphs are sampled and scored by the measured broadcast
+time of a given randomized algorithm, keeping the worst-case sample.  This
+is the substitution documented in DESIGN.md (E8): same code path, synthetic
+hard instances instead of non-constructive ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable
+
+from ..sim.errors import ConfigurationError
+from ..sim.network import RadioNetwork
+from ..sim.protocol import BroadcastAlgorithm
+from ..sim.run import run_broadcast
+
+__all__ = ["HardInstanceReport", "random_radius2", "search_radius2_hard_instance"]
+
+
+@dataclass(frozen=True)
+class HardInstanceReport:
+    """Best (hardest) instance found by a search.
+
+    Attributes:
+        network: The hardest sampled network.
+        score: Mean broadcast time of the probe algorithm on it.
+        samples: How many candidate networks were scored.
+        all_scores: Score of every candidate, in sample order.
+    """
+
+    network: RadioNetwork
+    score: float
+    samples: int
+    all_scores: tuple[float, ...]
+
+
+def random_radius2(n: int, mid_size: int, edge_prob: float, seed: int) -> RadioNetwork:
+    """A random radius-2 network in the Alon-et-al shape.
+
+    Layer 1 has ``mid_size`` nodes all adjacent to the source; the remaining
+    ``n - 1 - mid_size`` nodes form layer 2, each adjacent to a random
+    subset of layer 1 (each edge with probability ``edge_prob``, at least
+    one edge forced).  Hardness comes from layer-2 nodes whose layer-1
+    in-neighbourhoods overlap in ways that keep producing collisions.
+    """
+    if mid_size < 1 or n < mid_size + 2:
+        raise ConfigurationError(f"need n >= mid_size + 2, got n={n}, mid_size={mid_size}")
+    rng = random.Random(seed)
+    mid = list(range(1, 1 + mid_size))
+    outer = list(range(1 + mid_size, n))
+    edges = [(0, v) for v in mid]
+    for w in outer:
+        parents = [v for v in mid if rng.random() < edge_prob]
+        if not parents:
+            parents = [rng.choice(mid)]
+        edges.extend((v, w) for v in parents)
+    return RadioNetwork.undirected(range(n), edges)
+
+
+def search_radius2_hard_instance(
+    n: int,
+    algorithm: BroadcastAlgorithm,
+    trials: int = 20,
+    runs_per_trial: int = 5,
+    seed: int = 0,
+    mid_size: int | None = None,
+    edge_prob_choices: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75),
+    runner: Callable[..., object] | None = None,
+) -> HardInstanceReport:
+    """Sample radius-2 networks, keep the one slowest for ``algorithm``.
+
+    Args:
+        n: Network size for every candidate.
+        algorithm: The randomized algorithm to stress (its mean broadcast
+            time over ``runs_per_trial`` seeds is the hardness score).
+        trials: Number of candidate networks.
+        runs_per_trial: Monte-Carlo repetitions per candidate.
+        seed: Master seed; candidate topologies and probe runs derive from it.
+        mid_size: Layer-1 size; default ``max(2, n // 4)``.
+        edge_prob_choices: Edge densities cycled across candidates.
+        runner: Injection point for tests; defaults to
+            :func:`~repro.sim.run.run_broadcast`.
+
+    Returns:
+        A :class:`HardInstanceReport` with the worst sample found.
+    """
+    if trials < 1:
+        raise ConfigurationError("need at least one trial")
+    run = runner if runner is not None else run_broadcast
+    mid = mid_size if mid_size is not None else max(2, n // 4)
+    best_net: RadioNetwork | None = None
+    best_score = -1.0
+    scores: list[float] = []
+    for t in range(trials):
+        edge_prob = edge_prob_choices[t % len(edge_prob_choices)]
+        net = random_radius2(n, mid, edge_prob, seed=seed * 10_000 + t)
+        times = [
+            run(net, algorithm, seed=seed * 100_000 + t * 100 + i).time
+            for i in range(runs_per_trial)
+        ]
+        score = mean(times)
+        scores.append(score)
+        if score > best_score:
+            best_score = score
+            best_net = net
+    assert best_net is not None
+    return HardInstanceReport(
+        network=best_net, score=best_score, samples=trials, all_scores=tuple(scores)
+    )

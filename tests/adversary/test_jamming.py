@@ -1,0 +1,159 @@
+"""The Jamming function (Section 3.1): case analysis and model property."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.jamming import COLLISION, SILENCE, JammingState
+from repro.sim.errors import ConfigurationError
+
+
+def make_state(m=40, k=4):
+    return JammingState(range(100, 100 + m), k)
+
+
+def test_partition_covers_reservoir():
+    state = make_state(m=40, k=8)
+    union = set().union(*state.blocks)
+    assert union == set(range(100, 140))
+    assert len(state.blocks) == 4
+    sizes = [len(b) for b in state.blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_k_validation():
+    with pytest.raises(ConfigurationError):
+        JammingState(range(20), 3)  # odd
+    with pytest.raises(ConfigurationError):
+        JammingState(range(20), 2)  # < 4
+    with pytest.raises(ConfigurationError):
+        JammingState(range(3), 4)  # reservoir too small
+
+
+def test_case_b_silence_when_no_inactive_hit():
+    state = make_state()
+    answer = state.step(set())
+    assert answer is SILENCE
+
+
+def test_case_a_large_overlap_collides_and_shrinks_block():
+    state = make_state(m=40, k=4)  # blocks of 20, active threshold 4
+    block0 = sorted(state.blocks[0])
+    y = set(block0[:15])  # |B & Y| = 15 > (2/4)*20 = 10
+    answer = state.step(y)
+    assert answer is COLLISION
+    assert state.blocks[0] <= y
+    assert len(state.blocks[0]) == 15
+
+
+def test_case_a_truncates_below_k_to_two():
+    state = make_state(m=40, k=8)  # blocks of 10, threshold 8
+    block0 = sorted(state.blocks[0])
+    y = set(block0[:4])  # 4 > (2/8)*10 = 2.5 -> case A; 4 < k=8 -> truncate
+    answer = state.step(y)
+    assert answer is COLLISION
+    assert len(state.blocks[0]) == 2
+    assert state.blocks[0] <= y
+
+
+def test_case_b_removes_y_from_active_blocks():
+    state = make_state(m=40, k=4)
+    victims = {sorted(block)[0] for block in state.blocks}
+    # One element per block: |B & Y| = 1 <= (2/4)*20 -> case B.
+    answer = state.step(victims)
+    assert answer is SILENCE
+    for block, victim in zip(state.blocks, sorted(victims)):
+        assert victim not in block
+
+
+def test_case_b_single_from_inactive_block():
+    state = make_state(m=40, k=8)
+    # First make block 0 inactive via case A truncation.
+    block0 = sorted(state.blocks[0])
+    state.step(set(block0[:4]))
+    survivor = sorted(state.blocks[0])[0]
+    answer = state.step({survivor})
+    assert answer.kind == "single" and answer.node == survivor
+
+
+def test_case_b_two_inactive_hits_collide():
+    state = make_state(m=40, k=8)
+    state.step(set(sorted(state.blocks[0])[:4]))  # block 0 -> {a, b}
+    pair = set(state.blocks[0])
+    assert state.step(pair) is COLLISION
+
+
+def test_blocks_only_shrink():
+    state = make_state(m=60, k=6)
+    rng = random.Random(0)
+    previous = [set(b) for b in state.blocks]
+    universe = sorted(set().union(*previous))
+    for _ in range(30):
+        y = {x for x in universe if rng.random() < 0.3}
+        state.step(y)
+        for before, after in zip(previous, state.blocks):
+            assert after <= before
+        previous = [set(b) for b in state.blocks]
+
+
+def test_models_checks_all_answer_kinds():
+    state = make_state(m=40, k=8)
+    b0 = sorted(state.blocks[0])
+    state.step(set(b0[:4]))          # collision, block0 -> 2 elements of Y
+    survivors = sorted(state.blocks[0])
+    state.step({survivors[0]})       # single
+    state.step(set())                # silence
+    good = set(survivors)  # hits both collision elements; single matches
+    assert state.models(good)
+    assert state.violation_report(good) == []
+    # A choice missing the collision pair fails.
+    other = sorted(state.blocks[1])[:2]
+    assert not state.models(set(other))
+    assert state.violation_report(set(other))
+
+
+def test_history_records_every_step():
+    state = make_state()
+    state.step(set())
+    state.step({101})
+    assert len(state.history) == 2
+
+
+def test_largest_block_index():
+    state = make_state(m=40, k=8)
+    state.step(set(sorted(state.blocks[0])[:4]))  # shrink block 0
+    assert state.largest_block() != 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_answers_consistent_with_final_blocks(seed):
+    """Any X with two elements per final block models every answer,
+    provided the single-answer nodes are also included — this mirrors the
+    invariant INV the construction relies on (without the p* subtleties:
+    we include all inactive-block survivors, which X' does too)."""
+    rng = random.Random(seed)
+    state = JammingState(range(50), 6)
+    universe = list(range(50))
+    for _ in range(rng.randint(1, 8)):
+        y = {x for x in universe if rng.random() < rng.choice([0.05, 0.3, 0.8])}
+        state.step(y)
+    chosen: set[int] = set()
+    for block in state.blocks:
+        chosen |= set(sorted(block)[:2])
+    # The construction's X' includes exactly these survivors for inactive
+    # blocks; actives contribute 2 "never-answered" elements.  All SILENCE
+    # and COLLISION constraints must hold; "single" answers are in some
+    # inactive block by construction, hence in `chosen`.
+    for y, answer in state.history:
+        overlap = chosen & y
+        if answer.kind == "silence":
+            assert not overlap
+        elif answer.kind == "single":
+            assert overlap == {answer.node}
+        else:
+            assert len(overlap) >= 2

@@ -1,0 +1,101 @@
+"""Oblivious-schedule layer adversary (Bruschi–Del Pinto style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import ObliviousLayerAdversary, verify_oblivious
+from repro.baselines import BGIBroadcast, RoundRobinBroadcast, SelectiveFamilyBroadcast
+from repro.sim.errors import ConfigurationError, SimulationError
+
+
+def test_rejects_randomized():
+    with pytest.raises(ConfigurationError, match="deterministic"):
+        ObliviousLayerAdversary(BGIBroadcast(63), 64, 4)
+
+
+def test_rejects_interactive_protocols():
+    from repro.core import SelectAndSend
+
+    with pytest.raises(ConfigurationError, match="vectorised"):
+        ObliviousLayerAdversary(SelectAndSend(), 64, 4)
+
+
+def test_rejects_too_small_n():
+    with pytest.raises(ConfigurationError, match="n >= 2"):
+        ObliviousLayerAdversary(RoundRobinBroadcast(7), 8, 4)
+
+
+def test_structure_pair_layers():
+    result = ObliviousLayerAdversary(RoundRobinBroadcast(63), 64, 5).build()
+    net = result.network
+    assert net.is_complete_layered()
+    assert net.radius == 6  # 5 pair layers + the absorbing final layer
+    layers = net.layers()
+    assert layers[0] == (0,)
+    for j in range(1, 6):
+        assert len(layers[j]) == 2
+    assert len(result.layer_delays) == 6  # source hop + 5 pair layers
+
+
+def test_floor_is_tight_for_round_robin():
+    result = ObliviousLayerAdversary(RoundRobinBroadcast(127), 128, 6).build()
+    ok, completion = verify_oblivious(result, RoundRobinBroadcast(127))
+    assert ok
+    # Last pair layer informed exactly at the predicted floor; the
+    # absorbing layer needs at least one more lone transmission.
+    assert completion >= result.predicted_floor
+
+
+def test_floor_is_tight_for_selective_schedule():
+    algo = SelectiveFamilyBroadcast(127, "random", max_scale=8, seed=4)
+    result = ObliviousLayerAdversary(algo, 128, 6).build()
+    ok, completion = verify_oblivious(
+        result, SelectiveFamilyBroadcast(127, "random", max_scale=8, seed=4)
+    )
+    assert ok and completion >= result.predicted_floor
+
+
+def test_round_robin_pays_theta_r_per_layer():
+    """RR is an (n, 2)-selective family of size r+1: delays ~ r, not log n."""
+    result = ObliviousLayerAdversary(RoundRobinBroadcast(255), 256, 6).build()
+    pair_delays = result.layer_delays[1:]
+    assert min(pair_delays) > 256 // 2
+
+
+def test_selective_schedule_much_cheaper_per_layer():
+    algo = SelectiveFamilyBroadcast(255, "random", max_scale=16, seed=1)
+    result = ObliviousLayerAdversary(algo, 256, 6).build()
+    rr = ObliviousLayerAdversary(RoundRobinBroadcast(255), 256, 6).build()
+    assert result.predicted_floor < rr.predicted_floor
+
+
+def test_never_separating_schedule_detected():
+    class AllwaysAll:
+        """Pathological schedule: everyone transmits every slot."""
+
+        name = "always-all"
+        deterministic = True
+
+        def transmit_mask(self, step, labels, wake_steps, r, rng):
+            return np.ones(labels.shape, dtype=bool)
+
+        def create(self, label, r, rng):  # pragma: no cover - not used
+            raise NotImplementedError
+
+        def max_steps_hint(self, n, r):
+            return 10
+
+    adversary = ObliviousLayerAdversary(AllwaysAll(), 64, 3, horizon=100)
+    with pytest.raises(SimulationError, match="never separated"):
+        adversary.build()
+
+
+def test_pairs_are_disjoint_across_layers():
+    result = ObliviousLayerAdversary(RoundRobinBroadcast(63), 64, 5).build()
+    seen: set[int] = set()
+    for layer in result.layers:
+        assert not (set(layer) & seen)
+        seen |= set(layer)
+    assert seen == set(range(64))

@@ -1,0 +1,105 @@
+"""Action-function extraction: the oracle mirrors the real engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.oracle import AbstractHistoryOracle, LiveNode
+from repro.baselines.round_robin import RoundRobinBroadcast
+from repro.core.select_and_send import SelectAndSend
+from repro.sim.engine import SynchronousEngine
+from repro.sim.errors import ConfigurationError, ProtocolViolationError
+from repro.sim.messages import Message
+from repro.topology import gnp_connected, path
+
+
+def test_randomized_algorithm_rejected():
+    from repro.baselines.bgi import BGIBroadcast
+
+    with pytest.raises(ConfigurationError, match="deterministic"):
+        AbstractHistoryOracle(BGIBroadcast(15), 15)
+
+
+def test_sleeping_nodes_have_zero_action():
+    oracle = AbstractHistoryOracle(RoundRobinBroadcast(9), 9)
+    oracle.wake(0, -1, None)
+    actions = oracle.query_actions(0)
+    # Only the source can act; round-robin label 0 transmits at step 0.
+    assert set(actions) == {0}
+
+
+def test_double_wake_rejected():
+    oracle = AbstractHistoryOracle(RoundRobinBroadcast(9), 9)
+    oracle.wake(0, -1, None)
+    with pytest.raises(ProtocolViolationError):
+        oracle.wake(0, 0, None)
+
+
+def test_deliver_before_query_rejected():
+    node = LiveNode(RoundRobinBroadcast(9), 3, 9)
+    node.wake(0, Message(0, "x"))
+    with pytest.raises(ProtocolViolationError):
+        node.deliver(1, None)
+
+
+def test_query_is_cached_per_step():
+    node = LiveNode(RoundRobinBroadcast(9), 0, 9)
+    node.wake(-1, None)
+    assert node.query(0) == node.query(0)
+
+
+def _mirror_engine_with_oracle(net, make_algo, steps):
+    """Drive oracle and engine with identical channel outcomes; compare."""
+    engine = SynchronousEngine(net, make_algo())
+    oracle = AbstractHistoryOracle(make_algo(), net.r)
+    oracle.wake(0, -1, None)
+    for step in range(steps):
+        oracle_actions = oracle.query_actions(step)
+        engine_tx = engine.run_step()
+        assert frozenset(oracle_actions) == frozenset(engine_tx), step
+        # Reproduce the engine's channel resolution for the oracle.
+        hits: dict[int, int] = {}
+        incoming: dict[int, Message] = {}
+        for sender, payload in oracle_actions.items():
+            for receiver in net.out_neighbors[sender]:
+                hits[receiver] = hits.get(receiver, 0) + 1
+                incoming[receiver] = Message(sender, payload)
+        deliveries = {
+            receiver: incoming[receiver]
+            for receiver, count in hits.items()
+            if count == 1 and receiver not in oracle_actions
+        }
+        oracle.finish_step(step, deliveries)
+
+
+def test_oracle_mirrors_engine_round_robin():
+    net = gnp_connected(18, 0.3, seed=4)
+    _mirror_engine_with_oracle(net, lambda: RoundRobinBroadcast(net.r), steps=80)
+
+
+def test_oracle_mirrors_engine_select_and_send():
+    net = gnp_connected(14, 0.35, seed=1)
+    _mirror_engine_with_oracle(net, SelectAndSend, steps=300)
+
+
+def test_reset_nodes_restores_empty_history():
+    net = path(4)
+    oracle = AbstractHistoryOracle(RoundRobinBroadcast(net.r), net.r)
+    oracle.wake(0, -1, None)
+    oracle.query_actions(0)
+    oracle.finish_step(0, {1: Message(0, "payload")})
+    assert oracle.awake(1)
+    oracle.reset_nodes([1])
+    assert not oracle.awake(1)
+    assert 1 not in oracle.deliveries
+    # Node 1 can be woken again from scratch.
+    oracle.wake(1, 5, Message(0, "again"))
+    assert oracle.awake(1)
+
+
+def test_first_transmission_recorded():
+    net = path(4)
+    oracle = AbstractHistoryOracle(RoundRobinBroadcast(net.r), net.r)
+    oracle.wake(0, -1, None)
+    oracle.query_actions(0)
+    assert oracle.first_transmission[0] == 0

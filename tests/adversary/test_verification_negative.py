@@ -1,0 +1,69 @@
+"""Failure injection: the Lemma 9 verifier must actually detect tampering.
+
+A verifier that always says "histories match" would vacuously pass every
+positive test; these tests corrupt a finished construction and check the
+verifier notices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.adversary import LowerBoundConstruction, verify_construction
+from repro.baselines import RoundRobinBroadcast
+from repro.sim.network import RadioNetwork
+
+
+def _build(n=256, d=8):
+    construction = LowerBoundConstruction(RoundRobinBroadcast(n - 1), n, d)
+    return construction.build()
+
+
+def test_tampered_network_fails_history_check():
+    result = _build()
+    net = result.network
+    # Splice an extra edge between the source and some final-layer node:
+    # the real run then informs that node far too early and the recorded
+    # transmitter sets diverge.
+    extra = result.final_layer[0]
+    edges = [
+        (u, v)
+        for u, nbrs in net.out_neighbors.items()
+        for v in nbrs
+        if u < v
+    ]
+    edges.append((0, extra))
+    tampered_net = RadioNetwork.undirected(net.nodes, edges, r=net.r)
+    tampered = dataclasses.replace(result, network=tampered_net)
+    report = verify_construction(tampered, RoundRobinBroadcast(255))
+    assert not report.histories_match
+    assert report.first_mismatch is not None
+
+
+def test_tampered_abstract_record_fails():
+    result = _build()
+    # Corrupt one recorded abstract transmitter set mid-horizon.
+    target = result.horizon // 2
+    corrupted = dict(result.abstract_transmitters)
+    corrupted[target] = corrupted.get(target, frozenset()) | frozenset({0})
+    tampered = dataclasses.replace(result, abstract_transmitters=corrupted)
+    report = verify_construction(tampered, RoundRobinBroadcast(255))
+    assert not report.histories_match
+
+
+def test_wrong_algorithm_fails_verification():
+    """Verifying G_A built for round-robin against a different-period
+    round-robin must mismatch: G_A is algorithm-specific."""
+    result = _build()
+    report = verify_construction(result, RoundRobinBroadcast(127))
+    assert not report.histories_match
+
+
+def test_inflated_silence_floor_detected():
+    result = _build()
+    tampered = dataclasses.replace(
+        result, silence_floor=result.horizon * 50  # absurd claim
+    )
+    report = verify_construction(tampered, RoundRobinBroadcast(255))
+    # Node D/2-1 certainly transmits before such a floor.
+    assert not report.silence_respected

@@ -1,0 +1,138 @@
+"""Statistics, bound formulas, fitting and table rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    FitResult,
+    alon_lower_bound,
+    bgi_randomized_bound,
+    claimed_cms_undirected_bound,
+    compare_bounds,
+    complete_layered_bound,
+    deterministic_lower_bound,
+    fit_constant,
+    km_lower_bound,
+    kp_randomized_bound,
+    round_robin_bound,
+    select_and_send_bound,
+)
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_number, render_table
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([10, 12, 14, 16])
+        assert s.count == 4
+        assert s.mean == 13
+        assert s.minimum == 10 and s.maximum == 16
+        assert s.ci_low < s.mean < s.ci_high
+
+    def test_single_sample_collapses_ci(self):
+        s = summarize([5.0])
+        assert s.ci_low == s.ci_high == 5.0
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1, 2], level=0.5)
+
+    def test_wider_ci_at_higher_level(self):
+        data = [3, 7, 9, 2, 8, 4]
+        assert (
+            summarize(data, 0.99).ci_high - summarize(data, 0.99).ci_low
+            > summarize(data, 0.90).ci_high - summarize(data, 0.90).ci_low
+        )
+
+
+class TestBounds:
+    def test_kp_vs_bgi_separation_at_large_d(self):
+        n, d = 4096, 512
+        assert kp_randomized_bound(n, d) < bgi_randomized_bound(n, d)
+
+    def test_kp_equals_bgi_shape_at_small_d(self):
+        n = 4096
+        # For D = O(1), log(n/D) ~ log n: the bounds are close.
+        ratio = kp_randomized_bound(n, 2) / bgi_randomized_bound(n, 2)
+        assert 0.8 < ratio <= 1.0
+
+    def test_km_lower_below_kp_upper(self):
+        for n, d in [(1024, 4), (1024, 256), (8192, 1024)]:
+            assert km_lower_bound(n, d) <= kp_randomized_bound(n, d)
+
+    def test_alon_is_log_squared(self):
+        assert alon_lower_bound(1024, 2) == 100.0
+
+    def test_deterministic_lower_bound_sharpens_for_large_d(self):
+        n = 4096
+        # For D close to n the bound approaches n log n; for small D it is
+        # close to n (matching the Omega(n) special case).
+        assert deterministic_lower_bound(n, n // 2) > deterministic_lower_bound(n, 16)
+
+    def test_complete_layered_below_claimed_cms(self):
+        # Theorem 4 vs the refuted claim: for D = Theta(n), n + D log n is
+        # o(n log D) -- numerically visible already at n = 4096.
+        n, d = 4096, 1024
+        assert complete_layered_bound(n, d) < claimed_cms_undirected_bound(n, d)
+
+    def test_misc_formulas(self):
+        assert round_robin_bound(10, 3) == 30
+        assert select_and_send_bound(8, 2) == 8 * 3
+
+
+class TestFitting:
+    def test_perfect_fit(self):
+        params = [(256, 4), (512, 8), (1024, 16)]
+        times = [3.5 * kp_randomized_bound(n, d) for n, d in params]
+        fit = fit_constant(times, params, kp_randomized_bound)
+        assert math.isclose(fit.constant, 3.5, rel_tol=1e-9)
+        assert fit.rmse < 1e-6
+        assert math.isclose(fit.max_ratio_spread, 1.0, rel_tol=1e-9)
+
+    def test_wrong_bound_fits_worse(self):
+        params = [(1024, d) for d in (4, 16, 64, 256, 512)]
+        times = [2.0 * kp_randomized_bound(n, d) for n, d in params]
+        results = compare_bounds(
+            times,
+            params,
+            {"kp": kp_randomized_bound, "bgi": bgi_randomized_bound},
+        )
+        assert results["kp"].relative_rmse < results["bgi"].relative_rmse
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constant([1.0], [], kp_randomized_bound)
+
+    def test_fit_result_type(self):
+        fit = fit_constant([10.0], [(64, 4)], kp_randomized_bound)
+        assert isinstance(fit, FitResult)
+
+
+class TestTables:
+    def test_render_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["beta", 23.456]],
+            title="caption",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "caption"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "23.46" in text
+
+    def test_format_number_variants(self):
+        assert format_number(3) == "3"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(12345.6) == "12346"
+        assert format_number(2.0) == "2"
+        assert format_number(float("nan")) == "-"
+        assert format_number(True) == "True"
+        assert format_number("x") == "x"

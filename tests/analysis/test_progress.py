@@ -1,0 +1,106 @@
+"""Progress analytics: curves, milestones, front speed, energy, sparkline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.progress import (
+    Milestones,
+    ascii_sparkline,
+    front_speed,
+    milestones,
+    progress_curve,
+    progress_table_rows,
+    transmissions_per_node,
+)
+from repro.baselines import RoundRobinBroadcast
+from repro.core import SelectAndSend
+from repro.sim import run_broadcast
+from repro.sim.trace import TraceLevel
+from repro.topology import path, star, uniform_complete_layered
+
+
+def test_progress_curve_monotone_and_complete():
+    net = uniform_complete_layered(40, 4)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    curve = progress_curve(result)
+    assert len(curve) == result.time
+    assert curve == sorted(curve)
+    assert curve[-1] == net.n
+    assert curve[0] >= 1  # the source counts from the start
+
+
+def test_progress_curve_star_single_slot():
+    net = star(12)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    curve = progress_curve(result)
+    assert curve == [12]
+
+
+def test_milestones_ordering():
+    net = path(30)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    marks = milestones(result)
+    assert marks.half is not None and marks.full is not None
+    assert marks.half <= marks.ninety <= marks.full == result.time
+
+
+def test_milestones_incomplete_run():
+    net = path(30)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r), max_steps=10)
+    marks = milestones(result)
+    assert marks.full is None
+
+
+def test_front_speed_path_round_robin():
+    net = path(20)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    # Sorted path labels pipeline perfectly: exactly one slot per layer.
+    assert front_speed(result) == pytest.approx(1.0)
+
+
+def test_front_speed_none_for_degenerate():
+    net = star(5)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    # Star has exactly two layers; speed defined and equals time/1.
+    assert front_speed(result) == result.time
+    # Single-layer (source only informed) -> None
+    incomplete = run_broadcast(path(5), RoundRobinBroadcast(4), max_steps=0)
+    assert front_speed(incomplete) is None
+
+
+def test_transmissions_per_node_requires_full_trace():
+    net = path(6)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    with pytest.raises(ValueError):
+        transmissions_per_node(result.trace)
+
+
+def test_transmissions_per_node_counts():
+    net = star(6)
+    result = run_broadcast(
+        net, RoundRobinBroadcast(net.r), trace_level=TraceLevel.FULL
+    )
+    counts = transmissions_per_node(result.trace)
+    assert counts == {0: 1}  # one source transmission informs the star
+
+
+def test_sparkline_shape():
+    line = ascii_sparkline([0, 1, 2, 3, 4, 5])
+    assert len(line) == 6
+    assert line[0] == " " and line[-1] == "@"
+    assert ascii_sparkline([]) == ""
+    # Longer-than-width series are bucketed to the width.
+    assert len(ascii_sparkline(list(range(500)), width=40)) == 40
+
+
+def test_progress_table_rows():
+    net = uniform_complete_layered(30, 3)
+    results = {
+        "rr": run_broadcast(net, RoundRobinBroadcast(net.r)),
+        "ss": run_broadcast(net, SelectAndSend()),
+    }
+    rows = progress_table_rows(results)
+    assert len(rows) == 2
+    assert rows[0][0] == "rr"
+    assert all(len(row) == 6 for row in rows)

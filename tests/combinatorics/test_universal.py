@@ -1,0 +1,135 @@
+"""Universal sequences (Lemma 1): construction and the U1/U2 conditions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.universal import (
+    build_universal_sequence,
+    check_universality,
+    universal_ranges,
+)
+from repro.sim.errors import ConfigurationError
+
+POWERS = [2**i for i in range(2, 17)]
+
+
+def test_rejects_non_powers_of_two():
+    with pytest.raises(ConfigurationError):
+        build_universal_sequence(100, 32)
+    with pytest.raises(ConfigurationError):
+        build_universal_sequence(128, 33)
+
+
+def test_rejects_d_above_r():
+    with pytest.raises(ConfigurationError):
+        build_universal_sequence(64, 128)
+
+
+def test_rejects_tiny_r():
+    with pytest.raises(ConfigurationError):
+        build_universal_sequence(2, 2)
+
+
+def test_indexing_is_one_based_and_periodic():
+    seq = build_universal_sequence(256, 64)
+    with pytest.raises(IndexError):
+        seq.exponent(0)
+    period = len(seq)
+    assert seq.exponent(1) == seq.exponent(1 + period)
+    assert seq.probability(3) == 2.0 ** (-seq.exponent(3))
+
+
+def test_values_are_negative_powers_of_two_in_range():
+    seq = build_universal_sequence(1024, 256)
+    r1, r2, _ = universal_ranges(1024, 256)
+    allowed = set(r1) | set(r2)
+    assert set(seq.exponents) <= allowed
+
+
+def test_u1_holds_for_all_parameters():
+    """U1 needs no level clamping, so it must hold for every (r, D)."""
+    for r in [16, 64, 256, 1024, 4096]:
+        for d in [4, 16, r // 4, r]:
+            if d < 2 or d > r:
+                continue
+            report = check_universality(build_universal_sequence(r, d))
+            u1 = [v for v in report.violations if v.startswith("U1")]
+            assert not u1, (r, d, u1)
+
+
+def test_full_universality_in_regime():
+    """With D large relative to r, both conditions hold (Lemma 1 regime)."""
+    for r, d in [(1024, 1024), (4096, 2048), (65536, 16384)]:
+        report = check_universality(build_universal_sequence(r, d))
+        assert report.ok, (r, d, report.violations)
+
+
+def test_period_length_bound_in_regime():
+    """The paper distributes fewer than 3D reals (Lemma 1's count)."""
+    for r, d in [(4096, 2048), (65536, 16384), (65536, 65536)]:
+        seq = build_universal_sequence(r, d)
+        assert len(seq) <= 3 * d, (r, d, len(seq))
+
+
+def test_strict_mode_rejects_out_of_regime():
+    with pytest.raises(ConfigurationError, match="strict mode requires"):
+        build_universal_sequence(4096, 64, strict=True)
+
+
+def test_strict_mode_accepts_in_regime():
+    # 32 * (2^18)^(2/3) = 32 * 2^12 = 2^17 < D = 2^18 = r.
+    seq = build_universal_sequence(2**18, 2**18, strict=True)
+    assert seq.strict
+    assert check_universality(seq).ok
+
+
+def test_report_records_gaps_for_every_exponent():
+    seq = build_universal_sequence(256, 64)
+    report = check_universality(seq)
+    r1, r2, _ = universal_ranges(256, 64)
+    for j in list(r1) + list(r2):
+        assert j in report.max_gaps
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=14),
+    st.integers(min_value=1, max_value=14),
+)
+def test_u1_property_random_powers(log_r, log_d):
+    """Property: U1 holds for arbitrary power-of-two (r, D) with D <= r."""
+    if log_d > log_r:
+        log_d = log_r
+    r, d = 1 << log_r, 1 << log_d
+    try:
+        seq = build_universal_sequence(r, d)
+    except ConfigurationError:
+        return  # empty exponent range: acceptable degenerate parameters
+    report = check_universality(seq)
+    u1 = [v for v in report.violations if v.startswith("U1")]
+    assert not u1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=5, max_value=13))
+def test_window_coverage_matches_definition(log_r):
+    """Cross-check the gap computation against a brute-force window scan."""
+    r = 1 << log_r
+    d = 1 << (log_r - 1)
+    seq = build_universal_sequence(r, d)
+    r1, _, _ = universal_ranges(r, d)
+    period = seq.exponents
+    length = len(period)
+    for j in list(r1)[:2]:
+        window = (3 * d * (1 << j)) // r
+        # Brute force: every cyclic window of `window` slots has j.
+        doubled = period + period
+        ok = all(
+            j in doubled[start : start + window] for start in range(length)
+        )
+        report = check_universality(seq)
+        gap, win = report.max_gaps[j]
+        assert (gap <= win) == ok

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    binary_tree,
+    gnp_connected,
+    grid,
+    path,
+    random_tree,
+    star,
+    uniform_complete_layered,
+)
+
+
+@pytest.fixture
+def small_path():
+    return path(12)
+
+
+@pytest.fixture
+def small_star():
+    return star(10)
+
+
+@pytest.fixture
+def small_tree():
+    return binary_tree(15)
+
+
+@pytest.fixture
+def small_grid():
+    return grid(4, 5)
+
+
+@pytest.fixture
+def small_gnp():
+    return gnp_connected(30, 0.2, seed=7)
+
+
+@pytest.fixture
+def small_layered():
+    return uniform_complete_layered(40, 4)
+
+
+@pytest.fixture
+def topology_zoo(small_path, small_star, small_tree, small_grid, small_gnp, small_layered):
+    """A dict of named small networks covering the main topology shapes."""
+    return {
+        "path": small_path,
+        "star": small_star,
+        "tree": small_tree,
+        "grid": small_grid,
+        "gnp": small_gnp,
+        "layered": small_layered,
+        "random_tree": random_tree(25, seed=3),
+    }

@@ -1,0 +1,112 @@
+"""Complete-Layered algorithm (Section 4.3, Theorem 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complete_layered import CompleteLayeredBroadcast
+from repro.sim import run_broadcast
+from repro.sim.engine import SynchronousEngine
+from repro.topology import complete_layered, km_hard_layered, uniform_complete_layered
+
+
+def test_completes_on_uniform_layered():
+    net = uniform_complete_layered(80, 8)
+    result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+    assert result.completed
+
+
+def test_completes_on_km_hard_instances():
+    for seed in range(3):
+        net = km_hard_layered(150, 10, seed=seed)
+        result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+        assert result.completed, seed
+
+
+def test_completes_with_shuffled_labels():
+    net = complete_layered([1, 5, 9, 2, 7], relabel_seed=11)
+    result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+    assert result.completed
+
+
+def test_path_shaped_layered():
+    net = complete_layered([1] * 30)
+    result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+    assert result.completed
+
+
+def test_radius_one_completes_in_one_slot():
+    net = complete_layered([1, 50])
+    result = run_broadcast(net, CompleteLayeredBroadcast())
+    assert result.time == 1
+
+
+def test_one_leader_per_layer():
+    """The leader chain: exactly one node per layer ever announces."""
+    net = uniform_complete_layered(60, 5)
+    engine = SynchronousEngine(net, CompleteLayeredBroadcast())
+    engine.run(6000, stop_when_informed=False)
+    layer_of = net.distances_from_source()
+    leaders = [l for l, p in engine.protocols.items() if p.was_leader]
+    by_layer: dict[int, list[int]] = {}
+    for leader in leaders:
+        by_layer.setdefault(layer_of[leader], []).append(leader)
+    # One leader in every layer 0..D (including the last).
+    for layer_index in range(net.radius + 1):
+        assert len(by_layer.get(layer_index, [])) == 1, by_layer
+
+
+def test_time_bound_n_plus_d_log_n():
+    """Theorem 4 empirically: time <= c (n + D log n), small c."""
+    cases = [
+        uniform_complete_layered(200, 20),
+        km_hard_layered(300, 25, seed=3),
+        complete_layered([1] * 40),
+        complete_layered([1, 100, 100, 99]),
+    ]
+    for net in cases:
+        result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+        bound = 4 * (net.n + net.radius * math.log2(max(2, net.n)))
+        assert result.time <= bound, (net.describe(), result.time, bound)
+
+
+def test_beats_claimed_lower_bound_for_large_d():
+    """Section 4.3's refutation: faster than n log D on long layered nets.
+
+    The CMS claim would force time >= c * n log D; the measured time is
+    O(n + D log n), far below it for D = Theta(n) with thin layers.
+    """
+    net = complete_layered([1] * 120 + [40])  # n = 161, D = 120
+    result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+    claimed = net.n * math.log2(net.radius)  # c = 1 reference curve
+    assert result.time < claimed
+
+
+def test_deterministic_reproducible():
+    net = km_hard_layered(100, 8, seed=5)
+    a = run_broadcast(net, CompleteLayeredBroadcast())
+    b = run_broadcast(net, CompleteLayeredBroadcast(), seed=99)
+    assert a.time == b.time and a.wake_times == b.wake_times
+
+
+def test_max_steps_hint_sufficient():
+    algo = CompleteLayeredBroadcast()
+    for sizes in [[1, 3, 3, 3], [1] * 25, [1, 10, 1, 10, 1]]:
+        net = complete_layered(sizes)
+        result = run_broadcast(net, algo, max_steps=algo.max_steps_hint(net.n, net.r))
+        assert result.completed, sizes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=10),
+    st.integers(min_value=0, max_value=99),
+)
+def test_property_arbitrary_layer_profiles(sizes, relabel_seed):
+    net = complete_layered([1, *sizes], relabel_seed=relabel_seed)
+    result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+    assert result.completed

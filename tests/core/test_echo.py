@@ -1,0 +1,138 @@
+"""Echo classification and Binary-Selection decision logic (Section 4.1)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.echo import (
+    EchoOutcome,
+    Probe,
+    Selected,
+    SelectionDriver,
+    classify_echo,
+    simulate_selection,
+)
+from repro.sim.errors import ProtocolViolationError
+
+
+def test_classify_echo_truth_table():
+    assert classify_echo(5, None) == (EchoOutcome.SINGLE, 5)
+    assert classify_echo(None, 7) == (EchoOutcome.EMPTY, None)
+    assert classify_echo(None, None) == (EchoOutcome.MANY, None)
+
+
+def test_classify_echo_single_with_both_slots():
+    # |A| == 1: the lone member is heard in slot 1; slot 2 collides, so the
+    # normal shape is (label, None).  A (label, label) shape cannot occur
+    # in a correct run, but classification keys on slot 1 anyway.
+    assert classify_echo(3, 9)[0] is EchoOutcome.SINGLE
+
+
+def _run_driver(driver: SelectionDriver, hidden: set[int]) -> tuple[int, int]:
+    """Drive with truthful outcomes; returns (selected, segments used)."""
+    probe = driver.current_probe
+    segments = 1
+    while True:
+        members = [x for x in hidden if probe.lo <= x <= probe.hi]
+        if len(members) == 1:
+            step = driver.feed(EchoOutcome.SINGLE, members[0])
+        elif not members:
+            step = driver.feed(EchoOutcome.EMPTY)
+        else:
+            step = driver.feed(EchoOutcome.MANY)
+        if isinstance(step, Selected):
+            return step.label, segments
+        probe = step
+        segments += 1
+
+
+def test_exhaustive_small_hidden_sets():
+    for r in [1, 2, 3, 4, 7, 8, 9]:
+        for size in range(1, min(r, 5) + 1):
+            for combo in itertools.combinations(range(1, r + 1), size):
+                selected, _ = _run_driver(SelectionDriver(r), set(combo))
+                assert selected in combo, (r, combo)
+
+
+def test_segment_bound_holds():
+    r = 4096
+    driver = SelectionDriver(r)
+    bound = driver.segments_used_bound()
+    rng = random.Random(0)
+    for _ in range(50):
+        hidden = set(rng.sample(range(1, r + 1), rng.randint(1, 40)))
+        _, segments = _run_driver(SelectionDriver(r), hidden)
+        assert segments <= bound
+
+
+def test_doubling_skips_empty_prefixes():
+    # Hidden set far to the right: doubling must walk up, then binary in
+    # the last doubling interval.
+    selected, _ = _run_driver(SelectionDriver(1024), {900, 901})
+    assert selected in {900, 901}
+
+
+def test_single_element_at_r():
+    selected, _ = _run_driver(SelectionDriver(100), {100})
+    assert selected == 100
+
+
+def test_driver_errors_on_impossible_empty():
+    driver = SelectionDriver(4)
+    driver.feed(EchoOutcome.EMPTY)  # [1..2] empty: doubling continues
+    with pytest.raises(ProtocolViolationError):
+        driver.feed(EchoOutcome.EMPTY)  # [1..4] = whole ground empty: contradiction
+
+
+def test_driver_errors_after_finish():
+    driver = SelectionDriver(8)
+    driver.feed(EchoOutcome.SINGLE, 3)
+    with pytest.raises(ProtocolViolationError):
+        driver.feed(EchoOutcome.EMPTY)
+    with pytest.raises(ProtocolViolationError):
+        driver.current_probe
+
+
+def test_single_requires_label():
+    driver = SelectionDriver(8)
+    with pytest.raises(ProtocolViolationError):
+        driver.feed(EchoOutcome.SINGLE, None)
+
+
+def test_rejects_nonpositive_r():
+    with pytest.raises(ProtocolViolationError):
+        SelectionDriver(0)
+
+
+def test_simulate_selection_helper():
+    result = simulate_selection(SelectionDriver(64), {17, 40, 41})
+    assert result.label in {17, 40, 41}
+    with pytest.raises(ProtocolViolationError):
+        simulate_selection(SelectionDriver(64), set())
+
+
+def test_probe_is_dataclass_with_bounds():
+    driver = SelectionDriver(16)
+    probe = driver.current_probe
+    assert isinstance(probe, Probe)
+    assert probe == Probe(1, 2)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2048),
+    st.integers(min_value=0, max_value=10**9),
+)
+def test_selection_property(r, seed):
+    """Property: always selects a member of the hidden set, in O(log r)."""
+    rng = random.Random(seed)
+    size = rng.randint(1, min(r, 12))
+    hidden = set(rng.sample(range(1, r + 1), size))
+    selected, segments = _run_driver(SelectionDriver(r), hidden)
+    assert selected in hidden
+    assert segments <= SelectionDriver(r).segments_used_bound()

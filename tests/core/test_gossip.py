@@ -1,0 +1,78 @@
+"""Token gossip: all-to-all rumor exchange (extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SelectAndSend
+from repro.core.gossip import TokenGossip, run_gossip
+from repro.sim import run_broadcast
+from repro.sim.engine import SynchronousEngine
+from repro.sim.errors import BroadcastIncompleteError
+from repro.topology import gnp_connected, grid, path, random_tree, star
+
+
+def test_gossip_completes_on_zoo(topology_zoo):
+    for name, net in topology_zoo.items():
+        result = run_gossip(net)
+        assert result.completed, name
+
+
+def test_everyone_learns_everything():
+    net = gnp_connected(25, 0.2, seed=5)
+    engine = SynchronousEngine(net, TokenGossip())
+    limit = TokenGossip().max_steps_hint(net.n, net.r)
+    for _ in range(limit):
+        engine.run_step()
+        if len(engine.protocols) == net.n and all(
+            p.knows(net.n) for p in engine.protocols.values()
+        ):
+            break
+    for label, protocol in engine.protocols.items():
+        assert protocol.rumors == set(net.nodes), label
+
+
+def test_gossip_time_about_twice_broadcast_on_paths():
+    net = path(40)
+    gossip = run_gossip(net)
+    broadcast = run_broadcast(net, SelectAndSend())
+    assert gossip.completed
+    assert gossip.time <= 4 * broadcast.time + 40
+
+
+def test_two_node_gossip():
+    result = run_gossip(path(2))
+    assert result.completed
+
+
+def test_gossip_result_reports_broadcast_subgoal():
+    net = grid(4, 4)
+    result = run_gossip(net)
+    assert result.completed
+    assert result.broadcast_time is not None
+    assert result.broadcast_time <= result.time
+
+
+def test_require_completion_raises_on_budget():
+    net = path(30)
+    with pytest.raises(BroadcastIncompleteError):
+        run_gossip(net, max_steps=10, require_completion=True)
+
+
+def test_gossip_deterministic():
+    net = random_tree(20, seed=4)
+    assert run_gossip(net).time == run_gossip(net).time
+
+
+def test_star_gossip_collects_all_leaves():
+    result = run_gossip(star(10))
+    assert result.completed
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=200))
+def test_gossip_property_random_trees(n, seed):
+    net = random_tree(n, seed=seed)
+    assert run_gossip(net).completed

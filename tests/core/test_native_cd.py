@@ -1,0 +1,63 @@
+"""Native-CD variant of Complete-Layered (Section 4.1 ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompleteLayeredBroadcast
+from repro.sim import run_broadcast
+from repro.topology import complete_layered, km_hard_layered, uniform_complete_layered
+
+
+@pytest.mark.parametrize(
+    "net_factory",
+    [
+        lambda: uniform_complete_layered(80, 8),
+        lambda: km_hard_layered(150, 10, seed=1),
+        lambda: complete_layered([1, 5, 9, 2, 7], relabel_seed=11),
+        lambda: complete_layered([1] * 25),
+    ],
+)
+def test_cd_variant_completes(net_factory):
+    net = net_factory()
+    result = run_broadcast(
+        net,
+        CompleteLayeredBroadcast(native_cd=True),
+        collision_detection=True,
+        require_completion=True,
+    )
+    assert result.completed
+
+
+def test_cd_variant_faster_on_selection_heavy_networks():
+    net = uniform_complete_layered(200, 20)
+    plain = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+    cd = run_broadcast(
+        net,
+        CompleteLayeredBroadcast(native_cd=True),
+        collision_detection=True,
+        require_completion=True,
+    )
+    assert cd.time < plain.time
+
+
+def test_cd_variant_name():
+    assert CompleteLayeredBroadcast(native_cd=True).name == "complete-layered+cd"
+    assert CompleteLayeredBroadcast().name == "complete-layered"
+
+
+def test_cd_variant_one_leader_per_layer():
+    from repro.sim.engine import SynchronousEngine
+
+    net = uniform_complete_layered(60, 5)
+    engine = SynchronousEngine(
+        net, CompleteLayeredBroadcast(native_cd=True), collision_detection=True
+    )
+    engine.run(6000, stop_when_informed=False)
+    layer_of = net.distances_from_source()
+    leaders = [l for l, p in engine.protocols.items() if p.was_leader]
+    per_layer = {}
+    for leader in leaders:
+        per_layer.setdefault(layer_of[leader], []).append(leader)
+    for j in range(net.radius + 1):
+        assert len(per_layer.get(j, [])) == 1

@@ -1,0 +1,181 @@
+"""Select-and-Send (Section 4.2): correctness, invariants, complexity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.echo import EchoProbe, EchoReply, StopAll, TokenAnnounce, TokenPass
+from repro.core.select_and_send import SelectAndSend
+from repro.sim import run_broadcast
+from repro.sim.engine import SynchronousEngine
+from repro.sim.network import RadioNetwork
+from repro.sim.trace import TraceLevel
+from repro.topology import (
+    caterpillar,
+    complete_graph,
+    gnp_connected,
+    grid,
+    path,
+    random_tree,
+    star,
+    uniform_complete_layered,
+)
+
+
+def test_completes_on_zoo(topology_zoo):
+    for name, net in topology_zoo.items():
+        result = run_broadcast(net, SelectAndSend(), require_completion=True)
+        assert result.completed, name
+
+
+def test_two_node_network():
+    net = path(2)
+    result = run_broadcast(net, SelectAndSend())
+    assert result.completed and result.time == 1
+
+
+def test_star_completes_in_one_slot():
+    # The source's very first transmission informs everyone.
+    result = run_broadcast(star(20), SelectAndSend())
+    assert result.time == 1
+
+
+def test_shuffled_labels_still_work():
+    net = path(30, relabel="shuffled", seed=3)
+    result = run_broadcast(net, SelectAndSend(), require_completion=True)
+    assert result.completed
+
+
+def test_dfs_visits_every_node():
+    net = gnp_connected(35, 0.15, seed=9)
+    engine = SynchronousEngine(net, SelectAndSend())
+    visited: set[int] = set()
+    for _ in range(engine.network.n * 400):
+        engine.run_step()
+        visited |= {
+            label for label, proto in engine.protocols.items() if proto.visited
+        }
+        if len(visited) == net.n:
+            break
+    assert len(visited) == net.n
+
+
+def test_at_most_one_token_holder():
+    """Invariant: the token is never duplicated."""
+    net = random_tree(25, seed=8)
+    engine = SynchronousEngine(net, SelectAndSend())
+    for _ in range(4000):
+        engine.run_step()
+        holders = [l for l, p in engine.protocols.items() if p.holding]
+        assert len(holders) <= 1
+        if engine.all_informed and not holders:
+            break
+
+
+def test_quiesces_after_stop_all():
+    """After the source's StopAll nothing is scheduled anywhere."""
+    net = grid(4, 4)
+    engine = SynchronousEngine(net, SelectAndSend(), trace_level=TraceLevel.FULL)
+    for _ in range(20000):
+        engine.run_step()
+        if engine.all_informed and all(
+            not p.scheduled and not p.holding for p in engine.protocols.values()
+        ):
+            break
+    else:
+        pytest.fail("protocol never quiesced")
+    # The run ends with a source transmission (the StopAll order).
+    last_tx = [rec for rec in engine.trace.steps if rec.transmitters]
+    assert last_tx[-1].transmitters == (0,)
+
+
+def test_time_bound_n_log_n():
+    """Theorem 3 empirically: time <= c * n log n with modest c."""
+    for net in [
+        path(64),
+        random_tree(64, seed=1),
+        grid(8, 8),
+        gnp_connected(64, 0.1, seed=4),
+        caterpillar(16, 3),
+    ]:
+        result = run_broadcast(net, SelectAndSend(), require_completion=True)
+        bound = 6 * net.n * math.log2(net.n)
+        assert result.time <= bound, (net.describe(), result.time, bound)
+
+
+class _RecordingSelectAndSend(SelectAndSend):
+    """Wraps every protocol to log (step, label, payload) transmissions."""
+
+    def __init__(self, log):
+        super().__init__()
+        self._log = log
+
+    def create(self, label, r, rng):
+        protocol = super().create(label, r, rng)
+        original = protocol.next_action
+        log = self._log
+
+        def recording_next_action(step):
+            payload = original(step)
+            if payload is not None:
+                log.append((step, label, payload))
+            return payload
+
+        protocol.next_action = recording_next_action
+        return protocol
+
+
+def test_orders_are_always_transmitted_alone():
+    """Global sequencing: only Echo-reply slots may have >= 2 transmitters.
+
+    Every order (announce / probe / pass / stop) must be the sole
+    transmission of its slot — otherwise neighbours could miss orders and
+    the DFS would desynchronise.
+    """
+    log: list[tuple[int, int, object]] = []
+    net = gnp_connected(20, 0.25, seed=3)
+    engine = SynchronousEngine(net, _RecordingSelectAndSend(log))
+    engine.run(5000, stop_when_informed=False)
+    assert engine.all_informed
+    by_step: dict[int, list[object]] = {}
+    for step, label, payload in log:
+        by_step.setdefault(step, []).append(payload)
+    order_types = (TokenAnnounce, EchoProbe, TokenPass, StopAll)
+    for step, payloads in by_step.items():
+        if len(payloads) > 1:
+            assert all(isinstance(p, EchoReply) for p in payloads), (step, payloads)
+        if any(isinstance(p, order_types) for p in payloads):
+            assert len(payloads) == 1, (step, payloads)
+
+
+def test_deterministic_same_run_every_time():
+    net = gnp_connected(22, 0.3, seed=6)
+    a = run_broadcast(net, SelectAndSend())
+    b = run_broadcast(net, SelectAndSend(), seed=123)  # seed must not matter
+    assert a.time == b.time
+    assert a.wake_times == b.wake_times
+
+
+def test_max_steps_hint_is_sufficient(topology_zoo):
+    algo = SelectAndSend()
+    for name, net in topology_zoo.items():
+        hint = algo.max_steps_hint(net.n, net.r)
+        result = run_broadcast(net, algo, max_steps=hint)
+        assert result.completed, name
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=500))
+def test_property_completes_on_random_trees(n, seed):
+    net = random_tree(n, seed=seed)
+    result = run_broadcast(net, SelectAndSend(), require_completion=True)
+    assert result.completed
+
+
+def test_complete_graph_fast():
+    result = run_broadcast(complete_graph(16), SelectAndSend())
+    assert result.completed and result.time == 1

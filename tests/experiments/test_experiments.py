@@ -1,0 +1,73 @@
+"""Experiment framework and quick-mode experiment runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.base import Claim, ExperimentReport
+
+
+def test_registry_contains_all_ten():
+    assert list(all_experiments()) == [
+        "e1", "e10", "e11", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"
+    ]
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("e99")
+
+
+class TestExperimentReport:
+    def test_check_and_ok(self):
+        report = ExperimentReport("ex", "title")
+        report.check("a claim", True, "details")
+        assert report.ok
+        report.check("bad claim", False)
+        assert not report.ok
+        assert report.claims == [
+            Claim("a claim", True, "details"),
+            Claim("bad claim", False),
+        ]
+
+    def test_render_contains_tables_and_verdicts(self):
+        report = ExperimentReport("ex", "title")
+        report.add_table("a | b")
+        report.check("good", True)
+        report.check("bad", False, "numbers")
+        text = report.render()
+        assert "EX: title" in text
+        assert "a | b" in text
+        assert "[PASS] good" in text
+        assert "[FAIL] bad  (numbers)" in text
+
+
+@pytest.mark.parametrize("name", ["e7", "e10"])
+def test_fast_experiments_quick_mode(name):
+    report = get_experiment(name)(quick=True)
+    assert report.ok, report.render()
+    assert report.tables
+    assert report.claims
+
+
+def test_e6_quick_mode():
+    report = get_experiment("e6")(quick=True)
+    assert report.ok, report.render()
+
+
+def test_e9_quick_mode():
+    report = get_experiment("e9")(quick=True)
+    assert report.ok, report.render()
+
+
+def test_report_to_dict_round_trips_through_json():
+    import json
+
+    report = ExperimentReport("ex", "title")
+    report.add_table("t")
+    report.check("claim", True, "numbers")
+    document = json.loads(json.dumps(report.to_dict()))
+    assert document["experiment"] == "ex"
+    assert document["ok"] is True
+    assert document["claims"][0]["details"] == "numbers"

@@ -1,0 +1,33 @@
+"""Quick-mode runs of the medium-cost experiments.
+
+The heavyweight full-parameter runs live in ``benchmarks/``; these tests
+keep the experiment *logic* covered inside the unit suite using the
+reduced sweeps, so a refactor that breaks an experiment fails fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+@pytest.mark.parametrize("name", ["e4", "e5", "e11"])
+def test_medium_experiments_quick(name):
+    report = get_experiment(name)(quick=True)
+    assert report.ok, report.render()
+    assert report.tables
+
+
+def test_e3_quick():
+    report = get_experiment("e3")(quick=True)
+    assert report.ok, report.render()
+    # The quick run still exercises both parts (Fig. 2 + stretching).
+    assert len(report.tables) == 2
+    assert len(report.claims) == 4
+
+
+def test_e8_quick():
+    report = get_experiment("e8")(quick=True)
+    assert report.ok, report.render()
+    assert len(report.tables) == 3

@@ -1,0 +1,99 @@
+"""The collision-detection model variant (Section 4.1 ablation support)."""
+
+from __future__ import annotations
+
+from repro.sim.engine import SynchronousEngine
+from repro.sim.messages import COLLISION_MARKER, CollisionMarker
+from repro.sim.network import RadioNetwork
+from repro.sim.protocol import BroadcastAlgorithm, Protocol
+
+
+class _CdScripted(Protocol):
+    """CD-aware scripted protocol: records raw observations."""
+
+    def __init__(self, label, r, rng, steps):
+        super().__init__(label, r, rng)
+        self.steps = steps
+        self.observations: list[object] = []
+
+    def on_wake(self, step, message):
+        pass
+
+    def next_action(self, step):
+        return ("tick", self.label) if step in self.steps else None
+
+    def observe(self, step, message):
+        self.observations.append(message)
+
+
+class CdScriptedAlgorithm(BroadcastAlgorithm):
+    deterministic = True
+    name = "cd-scripted"
+
+    def __init__(self, scripts):
+        self.scripts = scripts
+
+    def create(self, label, r, rng):
+        return _CdScripted(label, r, rng, self.scripts.get(label, set()))
+
+
+def star4():
+    return RadioNetwork.undirected(range(4), [(0, 1), (0, 2), (0, 3)])
+
+
+def test_awake_listener_observes_collision_marker():
+    net = star4()
+    engine = SynchronousEngine(
+        net, CdScriptedAlgorithm({0: {0}, 1: {1}, 2: {1}}), collision_detection=True
+    )
+    engine.run_step()  # informs everyone (centre transmits alone)
+    engine.run_step()  # 1 and 2 collide at the centre
+    centre = engine.protocols[0]
+    assert centre.observations == [None, COLLISION_MARKER]
+
+
+def test_silence_still_observed_as_none_under_cd():
+    net = star4()
+    engine = SynchronousEngine(
+        net, CdScriptedAlgorithm({0: {0}}), collision_detection=True
+    )
+    engine.run_step()
+    engine.run_step()  # nobody transmits
+    centre = engine.protocols[0]
+    assert centre.observations == [None, None]
+
+
+def test_single_transmitter_still_delivers_under_cd():
+    net = star4()
+    engine = SynchronousEngine(
+        net, CdScriptedAlgorithm({0: {0}, 1: {1}}), collision_detection=True
+    )
+    engine.run_step()
+    engine.run_step()
+    centre = engine.protocols[0]
+    assert centre.observations[-1].sender == 1
+
+
+def test_collision_never_wakes_sleepers():
+    # Nodes 1, 2 adjacent to 3; both transmit -> 3 collides while asleep.
+    net = RadioNetwork.undirected(range(4), [(0, 1), (0, 2), (1, 3), (2, 3)])
+    engine = SynchronousEngine(
+        net, CdScriptedAlgorithm({0: {0}, 1: {1}, 2: {1}}), collision_detection=True
+    )
+    engine.run_step()
+    engine.run_step()
+    assert 3 not in engine.protocols  # still asleep despite the collision
+
+
+def test_default_model_never_emits_marker():
+    net = star4()
+    engine = SynchronousEngine(net, CdScriptedAlgorithm({0: {0}, 1: {1}, 2: {1}}))
+    engine.run_step()
+    engine.run_step()
+    centre = engine.protocols[0]
+    assert centre.observations == [None, None]
+
+
+def test_marker_is_singleton_dataclass():
+    assert isinstance(COLLISION_MARKER, CollisionMarker)
+    assert CollisionMarker() == COLLISION_MARKER

@@ -1,0 +1,145 @@
+"""Vectorised engine: semantics and cross-engine equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.round_robin import RoundRobinBroadcast
+from repro.baselines.selective_schedule import SelectiveFamilyBroadcast
+from repro.sim.errors import ConfigurationError
+from repro.sim.fast import ASLEEP, FastEngine, run_broadcast_fast
+from repro.sim.network import RadioNetwork
+from repro.sim.run import run_broadcast
+from repro.topology import gnp_connected, grid, path, star, uniform_complete_layered
+
+
+class _MaskSchedule:
+    """Deterministic vector schedule from per-step label sets."""
+
+    name = "mask-schedule"
+    deterministic = True
+
+    def __init__(self, slots: dict[int, set[int]]):
+        self.slots = slots
+
+    def transmit_mask(self, step, labels, wake_steps, r, rng):
+        wanted = self.slots.get(step, set())
+        return np.isin(labels, list(wanted)) if wanted else np.zeros(len(labels), bool)
+
+
+def test_rejects_non_vectorized_algorithm():
+    net = path(3)
+
+    class NotVectorized:
+        name = "nope"
+        deterministic = True
+
+    with pytest.raises(ConfigurationError):
+        FastEngine(net, NotVectorized())
+
+
+def test_exactly_one_rule_and_wake_progression():
+    net = star(4)
+    engine = FastEngine(net, _MaskSchedule({0: {0}}))
+    engine.run_step()
+    assert engine.all_informed
+    assert engine.completion_time == 1
+
+
+def test_collision_blocks_wake():
+    # Nodes 1, 2 adjacent to 3; both transmit at step 1 -> 3 not woken.
+    net = RadioNetwork.undirected(range(4), [(0, 1), (0, 2), (1, 3), (2, 3)])
+    engine = FastEngine(net, _MaskSchedule({0: {0}, 1: {1, 2}}))
+    engine.run_step()
+    engine.run_step()
+    assert not engine.all_informed
+    assert engine.informed_count == 3
+
+
+def test_no_spontaneous_transmission_in_fast_engine():
+    # Schedule says node 2 transmits at step 0, but it is asleep.
+    net = path(3)
+    engine = FastEngine(net, _MaskSchedule({0: {2}}))
+    mask = engine.run_step()
+    assert not mask.any()
+
+
+def test_wake_this_step_cannot_transmit_same_step():
+    # Node 1 woken at step 0 by the source; schedule wants 1 at step 0 too.
+    net = path(3)
+    engine = FastEngine(net, _MaskSchedule({0: {0, 1}, 1: {1}}))
+    mask0 = engine.run_step()
+    assert list(engine.labels[mask0]) == [0]
+    mask1 = engine.run_step()
+    assert list(engine.labels[mask1]) == [1]
+    assert engine.completion_time == 2
+
+
+def test_asleep_sentinel_and_wake_times():
+    net = path(3)
+    engine = FastEngine(net, _MaskSchedule({0: {0}}))
+    assert engine.wake_steps[2] == ASLEEP
+    engine.run_step()
+    assert engine.wake_times() == {0: -1, 1: 0}
+
+
+@pytest.mark.parametrize(
+    "make_net",
+    [
+        lambda: path(17),
+        lambda: star(9),
+        lambda: grid(4, 5),
+        lambda: gnp_connected(25, 0.25, seed=5),
+        lambda: uniform_complete_layered(30, 3),
+    ],
+)
+def test_cross_engine_equivalence_round_robin(make_net):
+    """Round-robin is deterministic: both engines must agree exactly."""
+    net = make_net()
+    algo = RoundRobinBroadcast(net.r)
+    ref = run_broadcast(net, algo)
+    fast = run_broadcast_fast(net, algo)
+    assert ref.completed and fast.completed
+    assert ref.time == fast.time
+    assert ref.wake_times == fast.wake_times
+
+
+def test_cross_engine_equivalence_selective_family():
+    net = gnp_connected(20, 0.3, seed=2)
+    algo = SelectiveFamilyBroadcast(net.r, "random", seed=4)
+    ref = run_broadcast(net, algo)
+    fast = run_broadcast_fast(net, algo)
+    assert ref.time == fast.time
+    assert ref.wake_times == fast.wake_times
+
+
+def test_directed_network_fast_engine():
+    net = RadioNetwork.directed([0, 1, 2], [(0, 1), (1, 2)])
+    engine = FastEngine(net, _MaskSchedule({0: {0}, 1: {1}}))
+    engine.run(10)
+    assert engine.all_informed
+    assert engine.completion_time == 2
+
+
+def test_run_broadcast_fast_incomplete_result():
+    net = path(5)
+    result = run_broadcast_fast(net, _MaskSchedule({}), max_steps=3)
+    assert not result.completed
+    assert result.informed == 1
+    assert result.time == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=14), st.integers(min_value=0, max_value=10_000))
+def test_cross_engine_property_random_trees(n, seed):
+    """Property: engines agree on arbitrary random trees for round-robin."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    net = RadioNetwork.undirected(range(n), edges)
+    algo = RoundRobinBroadcast(net.r)
+    assert run_broadcast(net, algo).time == run_broadcast_fast(net, algo).time

@@ -1,0 +1,62 @@
+"""Message and trace details not covered elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.messages import SOURCE_PAYLOAD, Message, source_message
+from repro.sim.trace import StepRecord, Trace, TraceLevel
+
+
+class TestMessages:
+    def test_source_message_shape(self):
+        message = source_message()
+        assert message.sender == 0
+        assert message.payload == SOURCE_PAYLOAD
+
+    def test_messages_are_value_objects(self):
+        assert Message(1, "x") == Message(1, "x")
+        assert Message(1, "x") != Message(2, "x")
+
+    def test_messages_are_frozen(self):
+        message = Message(1, "x")
+        with pytest.raises(AttributeError):
+            message.sender = 2
+
+    def test_default_payload_is_source(self):
+        assert Message(3).payload == SOURCE_PAYLOAD
+
+
+class TestTrace:
+    def test_none_level_records_nothing(self):
+        trace = Trace(level=TraceLevel.NONE)
+        trace.record(0, (0,), {1: 0}, (), (1,), informed=2)
+        assert trace.steps == []
+        assert trace.informed_counts == []
+        assert trace.wake_times == {}
+
+    def test_progress_level_tracks_wakes(self):
+        trace = Trace(level=TraceLevel.PROGRESS)
+        trace.record(0, (0,), {1: 0}, (), (1,), informed=2)
+        trace.record(1, (1,), {2: 1}, (), (2,), informed=3)
+        assert trace.wake_times == {1: 0, 2: 1}
+        assert trace.informed_counts == [2, 3]
+        assert trace.steps == []
+
+    def test_full_level_records_step_records(self):
+        trace = Trace(level=TraceLevel.FULL)
+        trace.record(5, (3, 4), {}, (7,), (), informed=4)
+        assert trace.steps == [
+            StepRecord(step=5, transmitters=(3, 4), deliveries={}, collisions=(7,), woken=())
+        ]
+
+    def test_timeline_requires_full(self):
+        trace = Trace(level=TraceLevel.PROGRESS)
+        with pytest.raises(ValueError):
+            trace.format_timeline()
+
+    def test_timeline_truncation(self):
+        trace = Trace(level=TraceLevel.FULL)
+        for step in range(10):
+            trace.record(step, (0,), {}, (), (), informed=1)
+        assert len(trace.format_timeline(max_steps=3).splitlines()) == 3

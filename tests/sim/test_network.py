@@ -1,0 +1,152 @@
+"""Tests for the radio network model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.errors import NetworkError
+from repro.sim.network import RadioNetwork
+
+
+def test_basic_undirected_construction():
+    net = RadioNetwork.undirected([0, 1, 2], [(0, 1), (1, 2)])
+    assert net.n == 3
+    assert net.nodes == (0, 1, 2)
+    assert net.r == 2
+    assert not net.is_directed
+    assert net.out_neighbors[1] == (0, 2)
+    assert net.in_neighbors[1] == (0, 2)
+
+
+def test_explicit_r_is_kept():
+    net = RadioNetwork.undirected([0, 5], [(0, 5)], r=9)
+    assert net.r == 9
+
+
+def test_source_required():
+    with pytest.raises(NetworkError, match="source"):
+        RadioNetwork.undirected([1, 2], [(1, 2)])
+
+
+def test_self_loop_rejected():
+    with pytest.raises(NetworkError, match="self-loop"):
+        RadioNetwork.undirected([0, 1], [(0, 0)])
+
+
+def test_unknown_endpoint_rejected():
+    with pytest.raises(NetworkError, match="unknown node"):
+        RadioNetwork.undirected([0, 1], [(0, 2)])
+
+
+def test_unreachable_node_rejected():
+    with pytest.raises(NetworkError, match="unreachable"):
+        RadioNetwork.undirected([0, 1, 2, 3], [(0, 1), (2, 3)])
+
+
+def test_label_above_r_rejected():
+    with pytest.raises(NetworkError, match="exceeds"):
+        RadioNetwork.undirected([0, 7], [(0, 7)], r=5)
+
+
+def test_negative_label_rejected():
+    with pytest.raises(NetworkError):
+        RadioNetwork.undirected([0, -1], [(0, -1)])
+
+
+def test_directed_reachability_uses_out_edges():
+    # 0 -> 1 -> 2 works; all nodes reachable even though 2 has no out-edges.
+    net = RadioNetwork.directed([0, 1, 2], [(0, 1), (1, 2)])
+    assert net.is_directed
+    assert net.out_neighbors[0] == (1,)
+    assert net.in_neighbors[2] == (1,)
+    # Reverse orientation leaves 1, 2 unreachable.
+    with pytest.raises(NetworkError, match="unreachable"):
+        RadioNetwork.directed([0, 1, 2], [(1, 0), (2, 1)])
+
+
+def test_layers_and_radius_path():
+    net = RadioNetwork.undirected(range(5), [(i, i + 1) for i in range(4)])
+    assert net.radius == 4
+    assert net.layers() == [(0,), (1,), (2,), (3,), (4,)]
+    assert net.distances_from_source()[4] == 4
+
+
+def test_layers_star():
+    net = RadioNetwork.undirected(range(6), [(0, i) for i in range(1, 6)])
+    assert net.radius == 1
+    assert net.layers()[1] == (1, 2, 3, 4, 5)
+
+
+def test_degree_helpers():
+    net = RadioNetwork.undirected(range(4), [(0, 1), (0, 2), (0, 3), (1, 2)])
+    assert net.degree(0) == 3
+    assert net.in_degree(0) == 3
+    assert net.max_in_degree == 3
+    assert net.num_edges == 4
+
+
+def test_is_complete_layered_positive():
+    # 1 source, layer sizes 1-2-2, all consecutive-layer pairs adjacent.
+    edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (2, 4)]
+    net = RadioNetwork.undirected(range(5), edges)
+    assert net.is_complete_layered()
+
+
+def test_is_complete_layered_negative_missing_edge():
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (1, 4)]  # (2,4) missing
+    net = RadioNetwork.undirected(range(5), edges)
+    assert not net.is_complete_layered()
+
+
+def test_is_complete_layered_negative_same_layer_edge():
+    edges = [(0, 1), (0, 2), (1, 2)]
+    net = RadioNetwork.undirected(range(3), edges)
+    assert not net.is_complete_layered()
+
+
+def test_to_networkx_round_trip():
+    edges = [(0, 1), (1, 2), (2, 3)]
+    net = RadioNetwork.undirected(range(4), edges)
+    graph = net.to_networkx()
+    again = RadioNetwork.from_networkx(graph)
+    assert again.out_neighbors == net.out_neighbors
+
+
+def test_as_directed_doubles_edges():
+    net = RadioNetwork.undirected(range(3), [(0, 1), (1, 2)])
+    directed = net.as_directed()
+    assert directed.is_directed
+    assert directed.out_neighbors[1] == (0, 2)
+    assert directed.in_neighbors[1] == (0, 2)
+    assert directed.num_edges == 4
+
+
+def test_describe_mentions_basic_stats():
+    net = RadioNetwork.undirected(range(3), [(0, 1), (1, 2)])
+    text = net.describe()
+    assert "n=3" in text and "D=2" in text
+
+
+def test_contains_and_iter():
+    net = RadioNetwork.undirected(range(3), [(0, 1), (1, 2)])
+    assert 2 in net and 5 not in net
+    assert list(net) == [0, 1, 2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.randoms(use_true_random=False))
+def test_random_tree_layers_partition_nodes(n, rng):
+    """Layers always partition the node set and respect BFS distances."""
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    net = RadioNetwork.undirected(range(n), edges)
+    layers = net.layers()
+    seen = [v for layer in layers for v in layer]
+    assert sorted(seen) == list(range(n))
+    dist = net.distances_from_source()
+    for j, layer in enumerate(layers):
+        for v in layer:
+            assert dist[v] == j
+    # Radius equals the largest distance.
+    assert net.radius == max(dist.values())

@@ -1,0 +1,96 @@
+"""JSON round-trips for networks and results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import RoundRobinBroadcast
+from repro.sim import run_broadcast
+from repro.sim.errors import ConfigurationError
+from repro.sim.network import RadioNetwork
+from repro.sim.serialization import (
+    load_network,
+    load_result,
+    network_from_dict,
+    network_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_network,
+    save_result,
+)
+from repro.topology import gnp_connected, path, uniform_complete_layered
+
+
+def test_network_round_trip_undirected():
+    net = gnp_connected(25, 0.3, seed=1)
+    again = network_from_dict(network_to_dict(net))
+    assert again.out_neighbors == net.out_neighbors
+    assert again.r == net.r
+    assert not again.is_directed
+
+
+def test_network_round_trip_directed():
+    net = RadioNetwork.directed([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+    again = network_from_dict(network_to_dict(net))
+    assert again.is_directed
+    assert again.out_neighbors == net.out_neighbors
+    assert again.in_neighbors == net.in_neighbors
+
+
+def test_network_dict_is_json_safe():
+    net = path(6)
+    json.dumps(network_to_dict(net))  # must not raise
+
+
+def test_network_file_round_trip(tmp_path):
+    net = uniform_complete_layered(30, 3)
+    target = tmp_path / "net.json"
+    save_network(net, target)
+    again = load_network(target)
+    assert again.out_neighbors == net.out_neighbors
+
+
+def test_network_wrong_format_rejected():
+    with pytest.raises(ConfigurationError, match="format"):
+        network_from_dict({"format": "something-else"})
+
+
+def test_result_round_trip(tmp_path):
+    net = path(8)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    again = result_from_dict(result_to_dict(result))
+    assert again.time == result.time
+    assert again.wake_times == result.wake_times
+    assert again.layer_times == result.layer_times
+    assert again.algorithm == result.algorithm
+    target = tmp_path / "result.json"
+    save_result(result, target)
+    assert load_result(target).time == result.time
+
+
+def test_result_preserves_none_layer_times():
+    net = path(8)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r), max_steps=3)
+    again = result_from_dict(result_to_dict(result))
+    assert again.layer_times[-1] is None
+    assert not again.completed
+
+
+def test_result_wrong_format_rejected():
+    with pytest.raises(ConfigurationError, match="format"):
+        result_from_dict({"format": "nope"})
+
+
+def test_loaded_network_is_validated(tmp_path):
+    """Corrupt documents fail at load: validation is not skipped."""
+    net = path(4)
+    doc = network_to_dict(net)
+    doc["edges"] = [[0, 1]]  # nodes 2, 3 now unreachable
+    target = tmp_path / "broken.json"
+    target.write_text(json.dumps(doc))
+    from repro.sim.errors import NetworkError
+
+    with pytest.raises(NetworkError, match="unreachable"):
+        load_network(target)

@@ -1,0 +1,111 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_subcommand(capsys):
+    code = main(["run", "--topology", "gnp", "--n", "40", "--algorithm",
+                 "select-and-send"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "completed: True" in out
+
+
+def test_run_with_trace(capsys):
+    code = main(["run", "--topology", "path", "--n", "6", "--algorithm",
+                 "round-robin", "--trace", "--trace-steps", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "step" in out
+
+
+def test_compare_subcommand(capsys):
+    code = main([
+        "compare", "--topology", "layered", "--n", "60", "--depth", "4",
+        "--algorithms", "bgi", "round-robin", "--runs", "3",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bgi-decay" in out and "round-robin" in out
+
+
+def test_adversary_subcommand(capsys):
+    code = main(["adversary", "--algorithm", "round-robin", "--n", "256",
+                 "--depth", "8"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Lemma 9 histories match: True" in out
+
+
+def test_adversary_rejects_randomized():
+    with pytest.raises(SystemExit):
+        main(["adversary", "--algorithm", "bgi", "--n", "256", "--depth", "8"])
+
+
+def test_universal_subcommand(capsys):
+    code = main(["universal", "--r", "1024", "--d", "1024"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "U1/U2 satisfied: True" in out
+
+
+def test_universal_reports_degradation(capsys):
+    code = main(["universal", "--r", "4096", "--d", "4"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "U2" in out
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--topology", "torus", "--n", "10"])
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--topology", "path", "--n", "10", "--algorithm", "magic"])
+
+
+def test_gossip_subcommand(capsys):
+    code = main(["gossip", "--topology", "tree", "--n", "25"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "gossip completed: True" in out
+
+
+def test_run_save_and_load_round_trip(tmp_path, capsys):
+    net_file = tmp_path / "net.json"
+    result_file = tmp_path / "res.json"
+    code = main([
+        "run", "--topology", "grid", "--n", "16", "--algorithm", "round-robin",
+        "--save-network", str(net_file), "--save-result", str(result_file),
+    ])
+    assert code == 0
+    assert net_file.exists() and result_file.exists()
+    capsys.readouterr()
+    # Re-run on the saved network; deterministic algorithm -> same time.
+    code = main([
+        "run", "--load-network", str(net_file), "--algorithm", "round-robin",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    from repro.sim import load_result
+
+    saved = load_result(result_file)
+    assert f"time: {saved.time} slots" in out
+
+
+def test_experiment_json_output(capsys):
+    code = main(["experiment", "e10", "--quick", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    import json
+
+    document = json.loads(out)
+    assert document["experiment"] == "e10"
+    assert document["ok"] is True
+    assert document["claims"]

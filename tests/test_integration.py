@@ -1,0 +1,89 @@
+"""Cross-module integration: every algorithm on every topology, plus
+end-to-end reproducibility properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BGIBroadcast,
+    CentralizedGreedySchedule,
+    InterleavedBroadcast,
+    KnownNeighborsDFS,
+    RoundRobinBroadcast,
+    SelectiveFamilyBroadcast,
+)
+from repro.core import (
+    CompleteLayeredBroadcast,
+    KnownRadiusKP,
+    OptimalRandomizedBroadcasting,
+    SelectAndSend,
+)
+from repro.sim import run_broadcast
+from repro.topology import random_geometric, uniform_complete_layered
+
+
+def universal_algorithms(net):
+    """Algorithms that must complete on ANY connected network."""
+    return [
+        KnownRadiusKP(net.r, max(1, net.radius)),
+        OptimalRandomizedBroadcasting(net.r, stage_constant=4),
+        BGIBroadcast(net.r),
+        RoundRobinBroadcast(net.r),
+        SelectAndSend(),
+        SelectiveFamilyBroadcast(net.r, "random", seed=0),
+        InterleavedBroadcast(RoundRobinBroadcast(net.r), SelectAndSend()),
+        KnownNeighborsDFS(net),
+        CentralizedGreedySchedule(net),
+    ]
+
+
+def test_every_algorithm_completes_on_every_topology(topology_zoo):
+    failures = []
+    for net_name, net in topology_zoo.items():
+        for algo in universal_algorithms(net):
+            result = run_broadcast(net, algo, seed=11, require_completion=False)
+            if not result.completed:
+                failures.append((net_name, algo.name))
+    assert not failures, failures
+
+
+def test_complete_layered_algorithm_on_layered_zoo():
+    # Complete-Layered is only claimed for complete layered networks.
+    for n, depth in [(50, 5), (120, 3), (90, 30)]:
+        net = uniform_complete_layered(n, depth)
+        result = run_broadcast(net, CompleteLayeredBroadcast())
+        assert result.completed
+
+
+def test_adhoc_geometric_scenario_end_to_end():
+    """The motivating scenario: an ad hoc unit-disk network."""
+    net = random_geometric(120, seed=21)
+    times = {}
+    for algo in [
+        KnownRadiusKP(net.r, net.radius),
+        BGIBroadcast(net.r),
+        SelectAndSend(),
+        RoundRobinBroadcast(net.r),
+    ]:
+        result = run_broadcast(net, algo, seed=5, require_completion=True)
+        times[algo.name] = result.time
+    # Everything completed; randomized schemes beat round-robin here.
+    assert times[f"round-robin(r={net.r})"] > min(times.values())
+
+
+def test_wake_times_define_time_for_all_algorithms(topology_zoo):
+    net = topology_zoo["grid"]
+    for algo in universal_algorithms(net):
+        result = run_broadcast(net, algo, seed=2)
+        assert result.completed
+        assert result.time == max(result.wake_times.values()) + 1
+        assert set(result.wake_times) == set(net.nodes)
+
+
+def test_radius_is_a_lower_bound(topology_zoo):
+    """No algorithm beats the trivial D lower bound."""
+    for net_name, net in topology_zoo.items():
+        for algo in universal_algorithms(net):
+            result = run_broadcast(net, algo, seed=1)
+            assert result.time >= net.radius, (net_name, algo.name)

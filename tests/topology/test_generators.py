@@ -1,0 +1,167 @@
+"""Topology generators: sizes, radii, labelling policies, error paths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.errors import ConfigurationError
+from repro.topology import (
+    binary_tree,
+    caterpillar,
+    complete_graph,
+    cycle,
+    gnp_connected,
+    grid,
+    hypercube,
+    path,
+    random_geometric,
+    random_tree,
+    relabel_network,
+    star,
+)
+
+
+def test_path_shape():
+    net = path(7)
+    assert net.n == 7 and net.radius == 6
+    assert net.degree(0) == 1 and net.degree(3) == 2
+
+
+def test_cycle_shape():
+    net = cycle(9)
+    assert net.n == 9 and net.radius == 4
+    assert all(net.degree(v) == 2 for v in net)
+
+
+def test_star_shape():
+    net = star(12)
+    assert net.radius == 1
+    assert net.degree(0) == 11
+
+
+def test_complete_graph_shape():
+    net = complete_graph(6)
+    assert net.num_edges == 15
+    assert net.radius == 1
+
+
+def test_binary_tree_shape():
+    net = binary_tree(15)
+    assert net.radius == 3
+    assert net.degree(0) == 2
+
+
+def test_random_tree_is_tree():
+    net = random_tree(33, seed=4)
+    assert net.num_edges == 32
+    assert net.n == 33
+
+
+def test_grid_shape():
+    net = grid(3, 4)
+    assert net.n == 12
+    assert net.radius == 3 + 4 - 2
+
+
+def test_hypercube_shape():
+    net = hypercube(4)
+    assert net.n == 16
+    assert net.radius == 4
+    assert all(net.degree(v) == 4 for v in net)
+
+
+def test_gnp_connected_returns_connected():
+    net = gnp_connected(30, 0.2, seed=0)
+    assert net.n == 30  # validation inside guarantees reachability
+
+
+def test_gnp_rejects_bad_p():
+    with pytest.raises(ConfigurationError):
+        gnp_connected(10, 0.0, seed=0)
+    with pytest.raises(ConfigurationError):
+        gnp_connected(10, 1.5, seed=0)
+
+
+def test_gnp_gives_up_below_threshold():
+    with pytest.raises(ConfigurationError, match="no connected"):
+        gnp_connected(60, 0.001, seed=0, max_attempts=5)
+
+
+def test_random_geometric_default_radius_connects():
+    net = random_geometric(60, seed=3)
+    assert net.n == 60
+    assert net.radius >= 2  # multi-hop: the point of the ad hoc scenario
+
+
+def test_random_geometric_explicit_radius():
+    net = random_geometric(25, radius=0.9, seed=1)
+    assert net.radius == 1 or net.radius == 2  # near-complete graph
+
+
+def test_caterpillar_shape():
+    net = caterpillar(5, 3)
+    assert net.n == 5 + 15
+    assert net.radius == 5  # 4 spine hops + 1 leg
+
+
+def test_caterpillar_no_legs_is_path():
+    net = caterpillar(6, 0)
+    assert net.n == 6 and net.radius == 5
+
+
+def test_shuffled_relabel_keeps_source_and_structure():
+    sorted_net = path(20)
+    shuffled = path(20, relabel="shuffled", seed=5)
+    assert 0 in shuffled
+    assert shuffled.n == sorted_net.n
+    assert shuffled.radius == sorted_net.radius
+    assert shuffled.num_edges == sorted_net.num_edges
+    # The labelling must actually differ somewhere.
+    assert shuffled.out_neighbors != sorted_net.out_neighbors
+
+
+def test_relabel_network_function():
+    net = grid(3, 3)
+    relabelled = relabel_network(net, seed=9)
+    assert relabelled.radius == net.radius
+    assert relabelled.num_edges == net.num_edges
+    assert sorted(relabelled.nodes) == sorted(net.nodes)
+
+
+def test_invalid_relabel_value():
+    with pytest.raises(ConfigurationError):
+        path(5, relabel="banana")
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: path(0),
+        lambda: cycle(2),
+        lambda: star(1),
+        lambda: complete_graph(1),
+        lambda: binary_tree(0),
+        lambda: grid(0, 3),
+        lambda: hypercube(0),
+        lambda: caterpillar(0, 2),
+    ],
+)
+def test_degenerate_sizes_rejected(factory):
+    with pytest.raises(ConfigurationError):
+        factory()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=64))
+def test_path_radius_property(n):
+    assert path(n).radius == n - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=999))
+def test_random_tree_property(n, seed):
+    net = random_tree(n, seed=seed)
+    assert net.num_edges == n - 1
+    assert 1 <= net.radius <= n - 1

@@ -1,0 +1,72 @@
+"""Radius-2 hard-instance search (Alon-et-al substitution, E8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.randomized import KnownRadiusKP
+from repro.sim.errors import ConfigurationError
+from repro.topology.hard_instances import (
+    HardInstanceReport,
+    random_radius2,
+    search_radius2_hard_instance,
+)
+
+
+def test_random_radius2_structure():
+    net = random_radius2(30, mid_size=8, edge_prob=0.4, seed=1)
+    assert net.n == 30
+    assert net.radius == 2
+    # Layer 1 is exactly the mid set, all adjacent to the source.
+    assert len(net.layers()[1]) == 8
+    assert net.degree(0) == 8
+
+
+def test_random_radius2_every_outer_node_has_parent():
+    net = random_radius2(25, mid_size=5, edge_prob=0.05, seed=2)
+    for w in net.layers()[2]:
+        assert net.degree(w) >= 1
+
+
+def test_random_radius2_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        random_radius2(5, mid_size=4, edge_prob=0.5, seed=0)
+    with pytest.raises(ConfigurationError):
+        random_radius2(10, mid_size=0, edge_prob=0.5, seed=0)
+
+
+def test_search_returns_worst_sample():
+    algo = KnownRadiusKP(29, 2)
+    report = search_radius2_hard_instance(
+        30, algo, trials=4, runs_per_trial=2, seed=0
+    )
+    assert isinstance(report, HardInstanceReport)
+    assert report.samples == 4
+    assert len(report.all_scores) == 4
+    assert report.score == max(report.all_scores)
+    assert report.network.radius == 2
+
+
+def test_search_requires_trials():
+    algo = KnownRadiusKP(29, 2)
+    with pytest.raises(ConfigurationError):
+        search_radius2_hard_instance(30, algo, trials=0)
+
+
+def test_search_with_injected_runner_counts_calls():
+    calls = []
+
+    class _Fake:
+        def __init__(self, time):
+            self.time = time
+
+    def runner(net, algo, seed):
+        calls.append(seed)
+        return _Fake(time=float(seed % 7))
+
+    algo = KnownRadiusKP(29, 2)
+    report = search_radius2_hard_instance(
+        30, algo, trials=3, runs_per_trial=2, seed=1, runner=runner
+    )
+    assert len(calls) == 6
+    assert report.samples == 3
