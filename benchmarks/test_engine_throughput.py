@@ -8,9 +8,12 @@ pytest-benchmark records wall times so regressions show up in CI diffs.
 
 from __future__ import annotations
 
+import time
+
+from repro.analysis import render_table
 from repro.baselines import BGIBroadcast, RoundRobinBroadcast
-from repro.core import SelectAndSend
-from repro.sim import run_broadcast, run_broadcast_fast
+from repro.core import KnownRadiusKP, SelectAndSend
+from repro.sim import repeat_broadcast, run_broadcast, run_broadcast_fast
 from repro.topology import gnp_connected, km_hard_layered
 
 
@@ -33,6 +36,46 @@ def test_fast_engine_randomized_sweep_unit(benchmark):
     net = km_hard_layered(2048, 128, seed=3)
     result = benchmark(lambda: run_broadcast_fast(net, BGIBroadcast(net.r), seed=1))
     assert result.completed
+
+
+def test_batched_vs_serial_repeat_broadcast(table_reporter):
+    """The E1 quick-sweep unit run both ways; batched must win by >= 5x.
+
+    The serial path is ``repeat_broadcast(engine="reference")`` — one
+    per-node engine run per seed, which is what the Monte-Carlo loops did
+    before batching.  The batched path resolves all trials' channels with
+    one sparse product per slot and returns identical per-trial results.
+    """
+    net = km_hard_layered(256, 64, seed=17)
+    algo = KnownRadiusKP(net.r, 64)
+    runs = 5
+
+    start = time.perf_counter()
+    serial = repeat_broadcast(net, algo, runs=runs, engine="reference")
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = repeat_broadcast(net, algo, runs=runs, engine="batch")
+    batched_s = time.perf_counter() - start
+
+    assert [r.time for r in batched] == [r.time for r in serial]
+    assert [r.wake_times for r in batched] == [r.wake_times for r in serial]
+
+    speedup = serial_s / batched_s
+    slots = sum(r.time for r in serial)
+    table_reporter.record(
+        "engine-throughput",
+        render_table(
+            ["path", "wall (s)", "trial-slots/s"],
+            [
+                ["serial reference", f"{serial_s:.3f}", f"{slots / serial_s:.0f}"],
+                ["batched fast", f"{batched_s:.3f}", f"{slots / batched_s:.0f}"],
+                ["speedup", f"{speedup:.1f}x", ""],
+            ],
+            title=f"repeat_broadcast, km_hard_layered(256, 64), {runs} trials",
+        ),
+    )
+    assert speedup >= 5.0, f"batched speedup only {speedup:.1f}x"
 
 
 def test_fast_engine_setup_cost(benchmark):

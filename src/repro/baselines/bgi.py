@@ -60,7 +60,7 @@ class _DecayProtocol(ObliviousTransmitter):
         if self._active_phase != phase or not self._active:
             return False
         # Continue while the coin keeps coming up heads.
-        self._active = self.rng.random() < 0.5
+        self._active = self.coin(step) < 0.5
         return self._active
 
 
@@ -94,9 +94,13 @@ class BGIBroadcast(BroadcastAlgorithm):
 
     # -- fast engine -------------------------------------------------------
 
-    def reset_run(self, n: int) -> None:
-        """Called by :class:`~repro.sim.fast.FastEngine` before a run."""
-        self._active_mask = np.zeros(n, dtype=bool)
+    def reset_run(self, shape: int | tuple[int, int]) -> None:
+        """Called by the fast engines before a run.
+
+        ``shape`` is ``n`` on :class:`~repro.sim.fast.FastEngine` and
+        ``(trials, n)`` on :class:`~repro.sim.fast.BatchedFastEngine`.
+        """
+        self._active_mask = np.zeros(shape, dtype=bool)
         self._active_phase = -1
 
     def transmit_mask(
@@ -105,18 +109,20 @@ class BGIBroadcast(BroadcastAlgorithm):
         labels: np.ndarray,
         wake_steps: np.ndarray,
         r: int,
-        rng: np.random.Generator,
+        coins,
     ) -> np.ndarray:
         phase, offset = divmod(step, self.phase_len)
         phase_start = phase * self.phase_len
         eligible = wake_steps < phase_start
-        if self._active_mask is None or self._active_mask.shape != labels.shape:
-            self._active_mask = np.zeros(labels.shape, dtype=bool)
+        if self._active_mask is None or self._active_mask.shape != wake_steps.shape:
+            self._active_mask = np.zeros(wake_steps.shape, dtype=bool)
         if offset == 0:
             self._active_phase = phase
             self._active_mask = eligible.copy()
         elif self._active_phase == phase:
-            self._active_mask &= rng.random(labels.shape[0]) < 0.5
+            # Slot-indexed coins: ANDing into already-inactive rows is a
+            # no-op, so this matches the per-node stateful Decay exactly.
+            self._active_mask &= coins.uniform(step) < 0.5
         else:  # run started mid-phase (step offset != 0): stay silent
             self._active_mask[:] = False
         return self._active_mask.copy()

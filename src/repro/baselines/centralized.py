@@ -141,7 +141,7 @@ class CentralizedGreedySchedule(BroadcastAlgorithm):
         labels: np.ndarray,
         wake_steps: np.ndarray,
         r: int,
-        rng: np.random.Generator,
+        coins=None,
     ) -> np.ndarray:
         if step >= self.schedule_length:
             return np.zeros(labels.shape, dtype=bool)

@@ -54,7 +54,7 @@ class RoundRobinBroadcast(BroadcastAlgorithm):
         labels: np.ndarray,
         wake_steps: np.ndarray,
         r: int,
-        rng: np.random.Generator,
+        coins=None,
     ) -> np.ndarray:
         return labels == (step % self.period)
 

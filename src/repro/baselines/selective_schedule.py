@@ -133,7 +133,7 @@ class SelectiveFamilyBroadcast(BroadcastAlgorithm):
         labels: np.ndarray,
         wake_steps: np.ndarray,
         r: int,
-        rng: np.random.Generator,
+        coins=None,
     ) -> np.ndarray:
         return self._membership_matrix(labels)[:, step % self.cycle_length].copy()
 

@@ -10,6 +10,9 @@ Subcommands:
   deterministic algorithm, verify Lemma 9, and report the floors.
 * ``experiment`` — run one of the paper-claim experiments (e1..e11) and
   print its tables and claim verdicts.
+* ``sweep`` — expand a declarative sweep spec (topology grid × algorithm
+  × trials), run the points on the batched engine across worker
+  processes, and cache per-point results on disk.
 * ``universal`` — build and check a universal sequence (Lemma 1).
 
 Examples::
@@ -18,6 +21,8 @@ Examples::
     repro compare --topology km-layered --n 1024 --depth 64 --runs 10
     repro adversary --algorithm round-robin --n 512 --depth 16
     repro experiment e6 --quick
+    repro sweep --quick --workers 4
+    repro sweep --spec my_sweep.json --json
     repro universal --r 65536 --d 16384
 """
 
@@ -205,6 +210,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return exit_code
 
 
+#: Built-in spec for ``repro sweep --quick``: small enough for a CI smoke
+#: run, yet exercising grid expansion, the batched engine, and caching.
+QUICK_SWEEP = {
+    "name": "quick",
+    "topology": "km-layered",
+    "algorithm": "kp-known-d",
+    "topology_grid": {"n": [24, 48], "depth": 4},
+    "algorithm_grid": {"stage_constant": 8},
+    "trials": 3,
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .sweep import DEFAULT_CACHE_DIR, ResultCache, SweepSpec, run_sweep
+
+    from .sim.errors import ConfigurationError
+
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"cannot read sweep spec: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"sweep spec {args.spec} is not valid JSON: {exc}")
+        try:
+            spec = SweepSpec.from_dict(document)
+        except ConfigurationError as exc:
+            raise SystemExit(f"bad sweep spec: {exc}")
+    elif args.quick:
+        spec = SweepSpec.from_dict(QUICK_SWEEP)
+    else:
+        raise SystemExit("provide --spec FILE.json or --quick")
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    try:
+        outcome = run_sweep(spec, workers=args.workers, cache=cache)
+    except ConfigurationError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+    if args.json:
+        print(outcome.to_json())
+    else:
+        print(f"sweep {spec.name!r}: {len(outcome.results)} points "
+              f"({outcome.executed} executed, {outcome.from_cache} from cache)")
+        print(outcome.render_table())
+        if cache is not None:
+            print(f"cache: {cache.root}")
+    return 0
+
+
 def _cmd_universal(args: argparse.Namespace) -> int:
     sequence = build_universal_sequence(args.r, args.d, strict=args.strict)
     report = check_universality(sequence)
@@ -269,6 +327,23 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a declarative parameter sweep (batched + cached)"
+    )
+    p_sweep.add_argument("--spec", metavar="FILE",
+                         help="sweep spec JSON (see repro.sweep.SweepSpec)")
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="run the built-in small smoke sweep")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes for cache-missed points")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache")
+    p_sweep.add_argument("--cache-dir", metavar="DIR",
+                         help="cache location (default benchmarks/results/sweep-cache)")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit the full outcome as canonical JSON")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_uni = sub.add_parser("universal", help="build a Lemma 1 universal sequence")
     p_uni.add_argument("--r", type=int, required=True)

@@ -176,7 +176,7 @@ class _StageProtocol(ObliviousTransmitter):
             return False
         if probability >= 1.0:
             return True
-        return self.rng.random() < probability
+        return self.coin(step) < probability
 
 
 def _locate_phase(phase_starts: list[int], step: int) -> tuple[int, int] | None:
@@ -217,21 +217,21 @@ class _PhasedAlgorithm(BroadcastAlgorithm):
         labels: np.ndarray,
         wake_steps: np.ndarray,
         r: int,
-        rng: np.random.Generator,
+        coins,
     ) -> np.ndarray:
         located = _locate_phase(self._phase_starts, step)
         if located is None:
-            return np.zeros(labels.shape, dtype=bool)
+            return np.zeros(wake_steps.shape, dtype=bool)
         phase_index, offset = located
         timetable = self._phases[phase_index]
         decoded = timetable.slot(offset)
         if decoded is None:
-            return labels == 0
+            return np.broadcast_to(labels == 0, wake_steps.shape)
         probability, stage_start = decoded
         eligible = wake_steps < (self._phase_starts[phase_index] + stage_start)
         if probability >= 1.0:
             return eligible
-        return eligible & (rng.random(labels.shape[0]) < probability)
+        return eligible & (coins.uniform(step) < probability)
 
     def max_steps_hint(self, n: int, r: int) -> int | None:
         return self._total_duration

@@ -10,9 +10,14 @@ from __future__ import annotations
 from ..analysis import render_table, summarize
 from ..baselines import BGIBroadcast
 from ..core import KnownRadiusKP
-from ..sim import run_broadcast_fast
+from ..sim import run_broadcast_batch
 from ..topology import directed_complete_layered, km_hard_layered
 from .base import ExperimentReport, register
+
+
+def _batch_times(net, algorithm, runs: int) -> list[int]:
+    """Trial times for seeds 0..runs-1, all trials in one batched run."""
+    return [r.time for r in run_broadcast_batch(net, algorithm, trials=runs)]
 
 FULL_CASES = [
     (256, 4), (256, 16), (256, 64),
@@ -39,14 +44,8 @@ def run(quick: bool = False, seeds: int | None = None) -> ExperimentReport:
     ratios: dict[tuple[int, int], float] = {}
     for n, d in cases:
         net = km_hard_layered(n, d, seed=17)
-        kp = summarize(
-            [run_broadcast_fast(net, KnownRadiusKP(net.r, d), seed=s).time
-             for s in range(runs)]
-        )
-        bgi = summarize(
-            [run_broadcast_fast(net, BGIBroadcast(net.r), seed=s).time
-             for s in range(runs)]
-        )
+        kp = summarize(_batch_times(net, KnownRadiusKP(net.r, d), runs))
+        bgi = summarize(_batch_times(net, BGIBroadcast(net.r), runs))
         ratios[(n, d)] = bgi.mean / kp.mean
         rows.append(
             [n, d,
@@ -92,12 +91,10 @@ def run(quick: bool = False, seeds: int | None = None) -> ExperimentReport:
     undirected_sizes = [1] + [8] * 63
     directed_net = directed_complete_layered(undirected_sizes)
     directed_kp = summarize(
-        [run_broadcast_fast(directed_net, KnownRadiusKP(directed_net.r, 63), seed=s).time
-         for s in range(runs)]
+        _batch_times(directed_net, KnownRadiusKP(directed_net.r, 63), runs)
     )
     directed_bgi = summarize(
-        [run_broadcast_fast(directed_net, BGIBroadcast(directed_net.r), seed=s).time
-         for s in range(runs)]
+        _batch_times(directed_net, BGIBroadcast(directed_net.r), runs)
     )
     report.add_table(
         render_table(

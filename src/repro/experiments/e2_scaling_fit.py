@@ -18,9 +18,14 @@ from ..analysis import (
     summarize,
 )
 from ..core import KnownRadiusKP, OptimalRandomizedBroadcasting
-from ..sim import run_broadcast_fast
+from ..sim import run_broadcast_batch
 from ..topology import km_hard_layered
 from .base import ExperimentReport, register
+
+
+def _batch_times(net, algorithm, runs: int) -> list[int]:
+    """Trial times for seeds 0..runs-1, all trials in one batched run."""
+    return [r.time for r in run_broadcast_batch(net, algorithm, trials=runs)]
 
 FULL_SWEEP = [
     (256, 8), (256, 32), (256, 64), (256, 128),
@@ -48,10 +53,7 @@ def run(quick: bool = False, seeds: int | None = None) -> ExperimentReport:
     times, params, rows = [], [], []
     for n, d in sweep:
         net = km_hard_layered(n, d, seed=23)
-        stats = summarize(
-            [run_broadcast_fast(net, KnownRadiusKP(net.r, d), seed=s).time
-             for s in range(runs)]
-        )
+        stats = summarize(_batch_times(net, KnownRadiusKP(net.r, d), runs))
         times.append(stats.mean)
         params.append((n, d))
         rows.append(
@@ -91,17 +93,12 @@ def run(quick: bool = False, seeds: int | None = None) -> ExperimentReport:
     # Doubling overhead at one mid-size case.
     n, d = (512, 64)
     net = km_hard_layered(n, d, seed=23)
-    known = summarize(
-        [run_broadcast_fast(net, KnownRadiusKP(net.r, d), seed=s).time
-         for s in range(runs)]
-    )
+    known = summarize(_batch_times(net, KnownRadiusKP(net.r, d), runs))
     rows2 = [["known-D", f"{known.mean:.0f}", 1.0]]
     overheads = {}
     for constant in (4660, 64, 8):
         algo = OptimalRandomizedBroadcasting(net.r, stage_constant=constant)
-        doubling = summarize(
-            [run_broadcast_fast(net, algo, seed=s).time for s in range(runs)]
-        )
+        doubling = summarize(_batch_times(net, algo, runs))
         overheads[constant] = doubling.mean / known.mean
         rows2.append([f"doubling(c={constant})", f"{doubling.mean:.0f}",
                       doubling.mean / known.mean])

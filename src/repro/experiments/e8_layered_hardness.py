@@ -6,7 +6,7 @@ from __future__ import annotations
 
 from ..analysis import km_lower_bound, render_table, summarize
 from ..core import CompleteLayeredBroadcast, KnownRadiusKP, SelectAndSend
-from ..sim import run_broadcast, run_broadcast_fast
+from ..sim import run_broadcast, run_broadcast_batch
 from ..topology import km_hard_layered, search_radius2_hard_instance
 from .base import ExperimentReport, register
 
@@ -30,8 +30,8 @@ def run(quick: bool = False) -> ExperimentReport:
     for n, d in (QUICK_RANDOM_CASES if quick else FULL_RANDOM_CASES):
         net = km_hard_layered(n, d, seed=31)
         stats = summarize(
-            [run_broadcast_fast(net, KnownRadiusKP(net.r, d), seed=s).time
-             for s in range(seeds)]
+            [r.time for r in
+             run_broadcast_batch(net, KnownRadiusKP(net.r, d), trials=seeds)]
         )
         rows.append([n, d, f"{stats.mean:.0f}", stats.mean / km_lower_bound(n, d)])
     report.add_table(

@@ -10,7 +10,7 @@ from __future__ import annotations
 from ..analysis import render_table, summarize
 from ..baselines import BGIBroadcast
 from ..core import KnownRadiusKP
-from ..sim import run_broadcast_fast
+from ..sim import run_broadcast_batch
 from ..topology import complete_layered
 from .base import ExperimentReport, register
 
@@ -40,10 +40,9 @@ def run(quick: bool = False) -> ExperimentReport:
     }
     rows, outcomes = [], {}
     for name, algo in variants.items():
-        results = [
-            run_broadcast_fast(net, algo, seed=s, max_steps=STEP_BUDGET)
-            for s in range(seeds)
-        ]
+        results = run_broadcast_batch(
+            net, algo, trials=seeds, max_steps=STEP_BUDGET
+        )
         completed = sum(1 for res in results if res.completed)
         informed = summarize([res.informed for res in results])
         spent = summarize([res.time for res in results])

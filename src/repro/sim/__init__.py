@@ -6,6 +6,7 @@ spontaneous transmissions, labels in ``{0..r}`` with only the own label and
 ``r`` known a priori.
 """
 
+from .coins import CoinSource, NodeRandom, coin_uniform
 from .engine import SynchronousEngine
 from .errors import (
     BroadcastIncompleteError,
@@ -14,11 +15,24 @@ from .errors import (
     ProtocolViolationError,
     SimulationError,
 )
-from .fast import ASLEEP, FastEngine, VectorizedAlgorithm, run_broadcast_fast
+from .fast import (
+    ASLEEP,
+    BatchedFastEngine,
+    FastEngine,
+    VectorizedAlgorithm,
+    run_broadcast_batch,
+    run_broadcast_fast,
+)
 from .messages import SOURCE_PAYLOAD, Message, source_message
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol
-from .run import BroadcastResult, repeat_broadcast, run_broadcast
+from .run import (
+    BroadcastResult,
+    derive_node_rng,
+    derive_trial_seeds,
+    repeat_broadcast,
+    run_broadcast,
+)
 from .serialization import (
     load_network,
     load_result,
@@ -29,11 +43,14 @@ from .trace import StepRecord, Trace, TraceLevel
 
 __all__ = [
     "ASLEEP",
+    "BatchedFastEngine",
     "BroadcastAlgorithm",
     "BroadcastIncompleteError",
     "BroadcastResult",
+    "CoinSource",
     "ConfigurationError",
     "FastEngine",
+    "NodeRandom",
     "Message",
     "NetworkError",
     "ObliviousTransmitter",
@@ -51,8 +68,12 @@ __all__ = [
     "save_result",
     "TraceLevel",
     "VectorizedAlgorithm",
+    "coin_uniform",
+    "derive_node_rng",
+    "derive_trial_seeds",
     "repeat_broadcast",
     "run_broadcast",
+    "run_broadcast_batch",
     "run_broadcast_fast",
     "source_message",
 ]

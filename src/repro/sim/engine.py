@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from .coins import derive_node_rng
 from .errors import ConfigurationError
 from .messages import Message
 from .network import RadioNetwork
@@ -90,7 +91,10 @@ class SynchronousEngine:
         return len(self.protocols) == self.network.n
 
     def _make_rng(self, label: int) -> random.Random:
-        return random.Random(f"{self.seed}:{label}")
+        # Shared derivation (repro.sim.coins via repro.sim.run): the same
+        # helper seeds the fast engines' coin keys, so all execution paths
+        # flip identical coins.
+        return derive_node_rng(self.seed, label)
 
     def _wake(self, label: int, step: int, message: Message | None) -> None:
         protocol = self.algorithm.create(label, self.network.r, self._make_rng(label))

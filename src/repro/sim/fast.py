@@ -1,4 +1,4 @@
-"""Vectorised engine for *oblivious* algorithms.
+"""Vectorised engines for *oblivious* algorithms.
 
 Both randomized algorithms studied in the paper — the Kowalski–Pelc stage
 algorithm and BGI Decay — as well as the round-robin and selective-family
@@ -8,25 +8,44 @@ received message contents.  For such algorithms the channel can be resolved
 with one sparse matrix-vector product per slot, which makes the large
 parameter sweeps of EXPERIMENTS.md feasible in pure Python.
 
+Two engines live here:
+
+* :class:`FastEngine` — one run, per-node state vectors of shape ``(n,)``.
+* :class:`BatchedFastEngine` — ``T`` independent Monte-Carlo trials at
+  once, state lifted to ``(T, n)``; one sparse product per slot resolves
+  the channel for *every* trial simultaneously.  This is the workhorse of
+  :func:`run_broadcast_batch` and the sweep runner.
+
 Semantics are identical to :class:`repro.sim.engine.SynchronousEngine`
-(verified by cross-engine tests): exactly-one reception, half-duplex, no
-spontaneous transmissions, and nodes woken in slot ``t`` first act in
-``t + 1``.
+(verified per-node, per-slot by ``tests/sim/test_differential.py``):
+exactly-one reception, half-duplex, no spontaneous transmissions, nodes
+woken in slot ``t`` first act in ``t + 1``, and — because transmission
+coins are slot-indexed and derived from the same
+:mod:`repro.sim.coins` helpers all engines share — the *same coin flips*
+for the same ``(seed, label, step)``.
 """
 
 from __future__ import annotations
 
-from typing import Protocol as TypingProtocol, runtime_checkable
+from typing import Protocol as TypingProtocol, Sequence, runtime_checkable
 
 import numpy as np
 from scipy import sparse
 
+from .coins import CoinSource, derive_trial_seeds
 from .errors import ConfigurationError
 from .network import RadioNetwork
 from .run import BroadcastResult, _layer_times
 from .trace import Trace, TraceLevel
 
-__all__ = ["VectorizedAlgorithm", "FastEngine", "run_broadcast_fast", "ASLEEP"]
+__all__ = [
+    "VectorizedAlgorithm",
+    "FastEngine",
+    "BatchedFastEngine",
+    "run_broadcast_fast",
+    "run_broadcast_batch",
+    "ASLEEP",
+]
 
 #: Sentinel wake step for nodes that are not informed yet.
 ASLEEP: int = np.iinfo(np.int64).max
@@ -34,7 +53,7 @@ ASLEEP: int = np.iinfo(np.int64).max
 
 @runtime_checkable
 class VectorizedAlgorithm(TypingProtocol):
-    """Structural interface for algorithms runnable on :class:`FastEngine`.
+    """Structural interface for algorithms runnable on the vector engines.
 
     Implementors also subclass
     :class:`~repro.sim.protocol.BroadcastAlgorithm` so the same object runs
@@ -50,46 +69,81 @@ class VectorizedAlgorithm(TypingProtocol):
         labels: np.ndarray,
         wake_steps: np.ndarray,
         r: int,
-        rng: np.random.Generator,
+        coins: CoinSource,
     ) -> np.ndarray:
-        """Vector of transmit decisions for slot ``step``.
+        """Transmit decisions for slot ``step``.
 
         Args:
             step: Global slot number.
-            labels: ``int64`` array of node labels (fixed across steps).
+            labels: ``int64`` array of node labels (fixed across steps),
+                always of shape ``(n,)``.
             wake_steps: ``int64`` array; ``ASLEEP`` for uninformed nodes.
-                Implementations may ignore sleepers — the engine masks them
-                out — but must not let them influence other nodes.
+                Shape ``(n,)`` on :class:`FastEngine`, ``(trials, n)`` on
+                :class:`BatchedFastEngine`.  Implementations may ignore
+                sleepers — the engine masks them out — but must not let
+                them influence other nodes.
             r: Public label bound.
-            rng: Run-level numpy generator for coin flips.
+            coins: Slot-indexed coin flips; ``coins.uniform(step)`` has
+                the same shape as ``wake_steps``.  Deterministic schedules
+                never touch it.
 
         Returns:
-            Boolean array: True where the node transmits.
+            Boolean array broadcastable to ``wake_steps.shape``: True where
+            the node transmits.
         """
         ...  # pragma: no cover - protocol definition
 
 
+def _build_adjacency(network: RadioNetwork, index: dict[int, int]) -> sparse.csr_matrix:
+    """Sparse sender -> receiver adjacency over engine node indices."""
+    rows, cols = [], []
+    for sender, nbrs in network.out_neighbors.items():
+        si = index[sender]
+        for receiver in nbrs:
+            rows.append(si)
+            cols.append(index[receiver])
+    n = network.n
+    data = np.ones(len(rows), dtype=np.int32)
+    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n), dtype=np.int32)
+
+
+def _default_max_steps(network: RadioNetwork, algorithm: VectorizedAlgorithm) -> int:
+    """The step-limit rule shared with :func:`repro.sim.run.run_broadcast`."""
+    hint = getattr(algorithm, "max_steps_hint", None)
+    max_steps = hint(network.n, network.r) if hint is not None else None
+    if max_steps is None:
+        max_steps = 64 * network.n * (network.n.bit_length() + 1)
+    return max_steps
+
+
+def _check_vectorized(algorithm) -> None:
+    if not isinstance(algorithm, VectorizedAlgorithm):
+        raise ConfigurationError(
+            f"{algorithm!r} does not implement the vectorised interface"
+        )
+
+
 class FastEngine:
-    """Array-based synchronous engine.
+    """Array-based synchronous engine for a single run.
 
     Args:
         network: Topology (directed or undirected).
         algorithm: An oblivious algorithm implementing
             :class:`VectorizedAlgorithm`.
-        seed: Seed for the numpy generator handed to the algorithm.
+        seed: Master seed; coins are the slot-indexed flips of
+            :mod:`repro.sim.coins`, identical to what the reference
+            engine's per-node protocols draw.
     """
 
     def __init__(self, network: RadioNetwork, algorithm: VectorizedAlgorithm, seed: int = 0):
-        if not isinstance(algorithm, VectorizedAlgorithm):
-            raise ConfigurationError(
-                f"{algorithm!r} does not implement the vectorised interface"
-            )
+        _check_vectorized(algorithm)
         self.network = network
         self.algorithm = algorithm
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
         self.labels = np.array(network.nodes, dtype=np.int64)
         self._index = {label: i for i, label in enumerate(self.labels)}
-        self.adjacency = self._build_adjacency(network)
+        self.adjacency = _build_adjacency(network, self._index)
+        self.coins = CoinSource.for_run(seed, self.labels)
         self.wake_steps = np.full(network.n, ASLEEP, dtype=np.int64)
         self.wake_steps[self._index[network.source]] = -1
         self.step = 0
@@ -98,19 +152,6 @@ class FastEngine:
         reset = getattr(algorithm, "reset_run", None)
         if reset is not None:
             reset(network.n)
-
-    def _build_adjacency(self, network: RadioNetwork) -> sparse.csr_matrix:
-        rows, cols = [], []
-        for sender, nbrs in network.out_neighbors.items():
-            si = self._index[sender]
-            for receiver in nbrs:
-                rows.append(si)
-                cols.append(self._index[receiver])
-        n = network.n
-        data = np.ones(len(rows), dtype=np.int32)
-        return sparse.csr_matrix(
-            (data, (rows, cols)), shape=(n, n), dtype=np.int32
-        )
 
     # ------------------------------------------------------------------
 
@@ -131,7 +172,7 @@ class FastEngine:
         """Execute one slot; returns the boolean transmit mask used."""
         awake = self.awake
         mask = self.algorithm.transmit_mask(
-            self.step, self.labels, self.wake_steps, self.network.r, self.rng
+            self.step, self.labels, self.wake_steps, self.network.r, self.coins
         )
         mask = np.asarray(mask, dtype=bool) & awake  # no spontaneous transmissions
         if mask.any():
@@ -169,6 +210,117 @@ class FastEngine:
         }
 
 
+class BatchedFastEngine:
+    """Array-based engine running ``T`` independent trials in lock-step.
+
+    Per-node state is lifted to shape ``(trials, n)``; one sparse product
+    per slot resolves the channel of every trial at once.  Trial ``t``
+    executes *exactly* the run that ``FastEngine(network, algorithm,
+    seeds[t])`` would — same coin flips, same wake slots — because coins
+    are slot-indexed per ``(seed, label)`` and carry no cross-trial state.
+
+    Args:
+        network: Topology (directed or undirected).
+        algorithm: An oblivious algorithm implementing
+            :class:`VectorizedAlgorithm`.
+        seeds: One master seed per trial.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        algorithm: VectorizedAlgorithm,
+        seeds: Sequence[int],
+    ):
+        _check_vectorized(algorithm)
+        if len(seeds) < 1:
+            raise ConfigurationError("need at least one trial seed")
+        self.network = network
+        self.algorithm = algorithm
+        self.seeds = [int(s) for s in seeds]
+        self.trials = len(self.seeds)
+        self.labels = np.array(network.nodes, dtype=np.int64)
+        self._index = {label: i for i, label in enumerate(self.labels)}
+        adjacency = _build_adjacency(network, self._index)
+        # (T, n) @ (n, n) as (adj^T @ mask^T)^T: sparse-first keeps scipy on
+        # its fast CSR path for every trial count.
+        self._adjacency_t = adjacency.T.tocsr()
+        self.coins = CoinSource.for_batch(self.seeds, self.labels)
+        self.wake_steps = np.full((self.trials, network.n), ASLEEP, dtype=np.int64)
+        self.wake_steps[:, self._index[network.source]] = -1
+        self.step = 0
+        reset = getattr(algorithm, "reset_run", None)
+        if reset is not None:
+            reset((self.trials, network.n))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def awake(self) -> np.ndarray:
+        """Boolean ``(trials, n)`` mask of informed nodes."""
+        return self.wake_steps != ASLEEP
+
+    @property
+    def trials_informed(self) -> np.ndarray:
+        """Boolean ``(trials,)`` vector: which trials have completed."""
+        return self.awake.all(axis=1)
+
+    @property
+    def all_informed(self) -> bool:
+        """Whether *every* trial has informed every node."""
+        return bool(self.awake.all())
+
+    def informed_counts(self) -> np.ndarray:
+        """``(trials,)`` vector of informed-node counts."""
+        return self.awake.sum(axis=1)
+
+    def run_step(self) -> np.ndarray:
+        """Execute one slot across all trials; returns the ``(T, n)`` mask."""
+        awake = self.awake
+        mask = self.algorithm.transmit_mask(
+            self.step, self.labels, self.wake_steps, self.network.r, self.coins
+        )
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), awake.shape) & awake
+        if mask.any():
+            hits = (self._adjacency_t @ mask.T.astype(np.int32)).T
+            newly = (~awake) & (hits == 1)
+            self.wake_steps[newly] = self.step
+        self.step += 1
+        return mask
+
+    def run(self, max_steps: int, stop_when_informed: bool = True) -> int:
+        """Run until every trial completes or the step limit; returns slots.
+
+        Completed trials keep stepping (their wake times are frozen, so the
+        extra slots are no-ops for them) until the last trial finishes —
+        exactly the per-trial executions of the single-run engine.
+        """
+        executed = 0
+        while executed < max_steps:
+            if stop_when_informed and self.all_informed:
+                break
+            self.run_step()
+            executed += 1
+        return executed
+
+    def completion_times(self) -> list[int | None]:
+        """Per-trial broadcasting times; ``None`` for incomplete trials."""
+        done = self.trials_informed
+        latest = self.wake_steps.max(axis=1, initial=-1, where=self.awake)
+        return [
+            int(latest[t]) + 1 if done[t] else None for t in range(self.trials)
+        ]
+
+    def wake_times(self, trial: int) -> dict[int, int]:
+        """Map informed labels of one trial to their wake slots."""
+        row = self.wake_steps[trial]
+        return {
+            int(label): int(ws)
+            for label, ws in zip(self.labels, row)
+            if ws != ASLEEP
+        }
+
+
 def run_broadcast_fast(
     network: RadioNetwork,
     algorithm: VectorizedAlgorithm,
@@ -177,10 +329,7 @@ def run_broadcast_fast(
 ) -> BroadcastResult:
     """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
     if max_steps is None:
-        hint = getattr(algorithm, "max_steps_hint", None)
-        max_steps = hint(network.n, network.r) if hint is not None else None
-    if max_steps is None:
-        max_steps = 64 * network.n * (network.n.bit_length() + 1)
+        max_steps = _default_max_steps(network, algorithm)
     engine = FastEngine(network, algorithm, seed=seed)
     engine.run(max_steps)
     completed = engine.all_informed
@@ -198,3 +347,68 @@ def run_broadcast_fast(
         layer_times=_layer_times(network, wake_times),
         trace=Trace(level=TraceLevel.NONE),
     )
+
+
+def run_broadcast_batch(
+    network: RadioNetwork,
+    algorithm: VectorizedAlgorithm,
+    seeds: Sequence[int] | None = None,
+    trials: int | None = None,
+    base_seed: int = 0,
+    max_steps: int | None = None,
+) -> list[BroadcastResult]:
+    """Run many Monte-Carlo trials of one broadcast as a single array program.
+
+    Result ``i`` is *identical* (per-node wake slots included) to
+    ``run_broadcast_fast(network, algorithm, seed=seeds[i])`` — batching is
+    purely an execution strategy, not a semantic variant.
+
+    Args:
+        network: Topology to broadcast on.
+        algorithm: Oblivious algorithm implementing
+            :class:`VectorizedAlgorithm`.
+        seeds: Explicit per-trial master seeds.  Mutually exclusive with
+            ``trials``.
+        trials: Number of trials; seeds default to
+            ``derive_trial_seeds(base_seed, trials)`` (``base_seed + i``,
+            the :func:`~repro.sim.run.repeat_broadcast` convention).
+        base_seed: First trial seed when ``trials`` is given.
+        max_steps: Step limit; defaults exactly as in
+            :func:`~repro.sim.run.run_broadcast`.
+
+    Returns:
+        One :class:`~repro.sim.run.BroadcastResult` per trial, in seed order.
+    """
+    if seeds is None:
+        if trials is None:
+            raise ConfigurationError("provide either seeds or trials")
+        seeds = derive_trial_seeds(base_seed, trials)
+    elif trials is not None and trials != len(seeds):
+        raise ConfigurationError(
+            f"trials={trials} conflicts with {len(seeds)} explicit seeds"
+        )
+    if max_steps is None:
+        max_steps = _default_max_steps(network, algorithm)
+    engine = BatchedFastEngine(network, algorithm, seeds)
+    engine.run(max_steps)
+    times = engine.completion_times()
+    counts = engine.informed_counts()
+    results = []
+    for t, seed in enumerate(engine.seeds):
+        completed = times[t] is not None
+        wake_times = engine.wake_times(t)
+        results.append(
+            BroadcastResult(
+                completed=completed,
+                time=times[t] if completed else engine.step,
+                informed=int(counts[t]),
+                n=network.n,
+                radius=network.radius,
+                algorithm=algorithm.name,
+                seed=seed,
+                wake_times=wake_times,
+                layer_times=_layer_times(network, wake_times),
+                trace=Trace(level=TraceLevel.NONE),
+            )
+        )
+    return results

@@ -88,6 +88,25 @@ class Protocol(ABC):
 
     # ------------------------------------------------------------------
 
+    def coin(self, step: int) -> float:
+        """Slot-indexed transmission coin in ``[0, 1)`` for slot ``step``.
+
+        Randomized *transmission decisions* must draw through this hook
+        rather than ``self.rng.random()``: the coin of ``(seed, label,
+        step)`` is a pure hash (see :mod:`repro.sim.coins`), so the
+        vectorised engines can evaluate the very same flips as arrays and
+        batched execution stays bit-identical to the reference engine.
+        ``self.rng`` remains available for free-form randomness that has no
+        vectorised counterpart.
+        """
+        coin = getattr(self.rng, "coin", None)
+        if coin is not None:
+            return coin(step)
+        # Plain random.Random (protocol constructed outside an engine):
+        # fall back to the sequential stream — same distribution, no
+        # cross-engine equality guarantee.
+        return self.rng.random()
+
     @property
     def awake(self) -> bool:
         """Whether the node has been informed yet."""

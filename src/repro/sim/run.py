@@ -11,13 +11,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# Seed-derivation helpers: defined in repro.sim.coins (run.py sits above
+# the engines in the import graph) and re-exported here as the canonical
+# public location.  Every engine derives per-node randomness through these
+# two functions; tests pin the exact streams.
+from .coins import derive_node_rng, derive_trial_seeds
 from .engine import SynchronousEngine
 from .errors import BroadcastIncompleteError, ConfigurationError
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm
 from .trace import Trace, TraceLevel
 
-__all__ = ["BroadcastResult", "run_broadcast", "repeat_broadcast"]
+__all__ = [
+    "BroadcastResult",
+    "run_broadcast",
+    "repeat_broadcast",
+    "derive_node_rng",
+    "derive_trial_seeds",
+]
 
 
 @dataclass(frozen=True)
@@ -139,24 +150,63 @@ def repeat_broadcast(
     base_seed: int = 0,
     max_steps: int | None = None,
     require_completion: bool = True,
+    engine: str = "auto",
 ) -> list[BroadcastResult]:
     """Run the same broadcast ``runs`` times with seeds ``base_seed + i``.
 
     Used to estimate expected broadcasting time (Corollary 1) and its
     spread.  Deterministic algorithms are detected and run only once — all
     repetitions would be identical.
+
+    Oblivious algorithms (anything implementing
+    :class:`~repro.sim.fast.VectorizedAlgorithm`) execute all trials as
+    one batched array program (:func:`~repro.sim.fast.run_broadcast_batch`)
+    — per-trial results are identical to the serial path, only faster.
+
+    Args:
+        engine: ``"auto"`` (batch when the algorithm is vectorisable),
+            ``"batch"`` (require the batched path), or ``"reference"``
+            (force the serial per-node engine, e.g. for benchmarking or
+            protocols with message-dependent behaviour).
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be positive, got {runs}")
+    if engine not in ("auto", "batch", "reference"):
+        raise ConfigurationError(f"unknown engine {engine!r}")
     if algorithm.deterministic:
         runs = 1
+    if engine != "reference":
+        # Imported lazily: fast.py imports this module for BroadcastResult.
+        from .fast import VectorizedAlgorithm, run_broadcast_batch
+
+        if isinstance(algorithm, VectorizedAlgorithm):
+            results = run_broadcast_batch(
+                network,
+                algorithm,
+                trials=runs,
+                base_seed=base_seed,
+                max_steps=max_steps,
+            )
+            if require_completion:
+                for result in results:
+                    if not result.completed:
+                        raise BroadcastIncompleteError(
+                            f"{algorithm.name} informed {result.informed}/"
+                            f"{network.n} nodes (seed {result.seed})",
+                            result=result,
+                        )
+            return results
+        if engine == "batch":
+            raise ConfigurationError(
+                f"{algorithm!r} does not implement the vectorised interface"
+            )
     return [
         run_broadcast(
             network,
             algorithm,
-            seed=base_seed + i,
+            seed=seed,
             max_steps=max_steps,
             require_completion=require_completion,
         )
-        for i in range(runs)
+        for seed in derive_trial_seeds(base_seed, runs)
     ]

@@ -1,0 +1,214 @@
+"""Parallel sweep execution with per-point caching.
+
+The runner shards the points of a :class:`~repro.sweep.spec.SweepSpec`
+across worker processes.  Cache lookups happen in the parent *before*
+dispatch, so a fully-cached sweep performs zero engine runs and zero
+worker spawns; only misses travel to the pool.  Every executed point's
+payload is written back through :class:`~repro.sweep.cache.ResultCache`.
+
+Each point itself runs all its Monte-Carlo trials as one batched array
+program (:func:`~repro.sim.run.repeat_broadcast` dispatches oblivious
+algorithms to :class:`~repro.sim.fast.BatchedFastEngine`), so the
+parallelism is two-level: processes over points, arrays over trials.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..analysis import render_table
+from ..sim.run import repeat_broadcast
+from .cache import CODE_VERSION, ResultCache
+from .registry import build_algorithm, build_topology
+from .spec import SweepPoint, SweepSpec, canonical_json
+
+__all__ = [
+    "PointResult",
+    "SweepOutcome",
+    "execute_point",
+    "run_sweep",
+    "engine_run_count",
+    "reset_engine_run_counter",
+]
+
+#: Broadcast executions performed by this process's sweeps since the last
+#: reset.  The cache regression test asserts this stays at zero on a warm
+#: re-run; it counts *trials actually executed*, cached points add nothing.
+_ENGINE_RUNS = 0
+
+
+def engine_run_count() -> int:
+    """Engine runs performed by ``run_sweep`` since the last reset."""
+    return _ENGINE_RUNS
+
+
+def reset_engine_run_counter() -> None:
+    global _ENGINE_RUNS
+    _ENGINE_RUNS = 0
+
+
+def _point_from_canonical(payload: dict) -> SweepPoint:
+    return SweepPoint(
+        topology=payload["topology"],
+        topology_params=tuple(sorted(payload["topology_params"].items())),
+        algorithm=payload["algorithm"],
+        algorithm_params=tuple(sorted(payload["algorithm_params"].items())),
+        trials=payload["trials"],
+        base_seed=payload["base_seed"],
+        max_steps=payload["max_steps"],
+    )
+
+
+def execute_point(canonical: dict) -> dict:
+    """Run one sweep point; top-level so worker processes can unpickle it.
+
+    Args:
+        canonical: A :meth:`SweepPoint.canonical` dict.
+
+    Returns:
+        JSON-safe payload with per-trial times and summary statistics.
+        Deterministic given the point (seeds are derived, never drawn), so
+        cached payloads reproduce byte-identically.
+    """
+    point = _point_from_canonical(canonical)
+    network = build_topology(point.topology, dict(point.topology_params))
+    algorithm = build_algorithm(point.algorithm, network, dict(point.algorithm_params))
+    results = repeat_broadcast(
+        network,
+        algorithm,
+        runs=point.trials,
+        base_seed=point.base_seed,
+        max_steps=point.max_steps,
+        require_completion=False,
+    )
+    times = [r.time for r in results]
+    return {
+        "point": canonical,
+        "label": point.label(),
+        "algorithm_name": getattr(algorithm, "name", point.algorithm),
+        "n": network.n,
+        "radius": network.radius,
+        "runs": len(results),
+        "completed": sum(1 for r in results if r.completed),
+        "times": times,
+        "mean_time": sum(times) / len(times),
+        "min_time": min(times),
+        "max_time": max(times),
+    }
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One sweep cell's outcome plus its provenance."""
+
+    point: SweepPoint
+    payload: dict
+    cached: bool
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one ``run_sweep`` call produced."""
+
+    spec: SweepSpec
+    results: list[PointResult]
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.results if not r.cached)
+
+    @property
+    def from_cache(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form (no cache provenance — content only)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "code_version": CODE_VERSION,
+            "points": [r.payload for r in self.results],
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def render_table(self) -> str:
+        rows = []
+        for r in self.results:
+            p = r.payload
+            rows.append([
+                r.point.label(),
+                f"{p['completed']}/{p['runs']}",
+                f"{p['mean_time']:.0f}",
+                f"[{p['min_time']}, {p['max_time']}]",
+                "cache" if r.cached else "run",
+            ])
+        return render_table(
+            ["point", "completed", "mean slots", "range", "source"], rows
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    on_point: Callable[[SweepPoint, dict, bool], None] | None = None,
+) -> SweepOutcome:
+    """Execute a sweep, sharding cache misses across worker processes.
+
+    Args:
+        spec: The declarative sweep description.
+        workers: Process count for cache-missed points; ``1`` executes
+            in-process (no pool spin-up — also what deterministic
+            run-counter tests use).
+        cache: Result cache; ``None`` disables caching entirely.
+        on_point: Progress callback ``(point, payload, cached)`` invoked
+            in completion order.
+
+    Returns:
+        A :class:`SweepOutcome` with one :class:`PointResult` per grid
+        cell, in grid order.
+    """
+    global _ENGINE_RUNS
+    points = spec.points()
+    payloads: dict[int, dict] = {}
+    cached_flags: dict[int, bool] = {}
+    pending: list[int] = []
+    for i, point in enumerate(points):
+        hit = cache.get(point) if cache is not None else None
+        if hit is not None:
+            payloads[i] = hit
+            cached_flags[i] = True
+        else:
+            pending.append(i)
+
+    if pending:
+        canonicals = [points[i].canonical() for i in pending]
+        if workers > 1 and len(pending) > 1:
+            # fork (where available) avoids re-importing __main__ in the
+            # children, so the pool works from scripts, pytest, and REPLs
+            # alike; platforms without it fall back to spawn.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context("spawn")
+            with context.Pool(min(workers, len(pending))) as pool:
+                executed = pool.map(execute_point, canonicals, chunksize=1)
+        else:
+            executed = [execute_point(c) for c in canonicals]
+        for i, payload in zip(pending, executed):
+            payloads[i] = payload
+            cached_flags[i] = False
+            _ENGINE_RUNS += payload["runs"]
+            if cache is not None:
+                cache.put(points[i], payload)
+
+    results = []
+    for i, point in enumerate(points):
+        result = PointResult(point=point, payload=payloads[i], cached=cached_flags[i])
+        results.append(result)
+        if on_point is not None:
+            on_point(point, result.payload, result.cached)
+    return SweepOutcome(spec=spec, results=results)

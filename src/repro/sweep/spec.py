@@ -1,0 +1,181 @@
+"""Declarative sweep specifications.
+
+A sweep is *topology family × parameter grid × algorithm × trial count*.
+:class:`SweepSpec` expands the grids into concrete :class:`SweepPoint`
+objects; every point is self-contained (it names the topology and
+algorithm factories plus all parameters), which is what makes points
+shardable across worker processes and individually cacheable.
+
+Canonical serialisation matters here: a point's cache key is a content
+hash of its canonical JSON plus the engine code version, so byte-stable
+encoding (sorted keys, fixed separators) is part of the contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..sim.errors import ConfigurationError
+
+__all__ = ["SweepPoint", "SweepSpec", "canonical_json"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Byte-stable JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-instantiated cell of a sweep grid.
+
+    Attributes:
+        topology: Topology family name (see :mod:`repro.sweep.registry`).
+        topology_params: Concrete parameters for the topology factory.
+        algorithm: Algorithm factory name.
+        algorithm_params: Concrete parameters for the algorithm factory.
+        trials: Monte-Carlo repetitions at this point.
+        base_seed: First trial seed (trial ``i`` uses ``base_seed + i``).
+        max_steps: Optional step limit override.
+    """
+
+    topology: str
+    topology_params: tuple[tuple[str, Any], ...]
+    algorithm: str
+    algorithm_params: tuple[tuple[str, Any], ...]
+    trials: int
+    base_seed: int
+    max_steps: int | None
+
+    def canonical(self) -> dict:
+        """JSON-safe dict uniquely describing the point's computation."""
+        return {
+            "topology": self.topology,
+            "topology_params": dict(self.topology_params),
+            "algorithm": self.algorithm,
+            "algorithm_params": dict(self.algorithm_params),
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "max_steps": self.max_steps,
+        }
+
+    def content_hash(self, code_version: str) -> str:
+        """Cache key: sha256 of canonical JSON + engine code version.
+
+        Only the computation's inputs enter the hash — the sweep *name*
+        does not, so identical points are shared across sweeps, and a
+        changed parameter invalidates exactly the points it touches.
+        """
+        blob = canonical_json({"code_version": code_version, "point": self.canonical()})
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell id for tables and progress lines."""
+        params = ", ".join(
+            f"{k}={v}" for k, v in (*self.topology_params, *self.algorithm_params)
+        )
+        return f"{self.topology}({params}) x {self.algorithm}"
+
+
+def _as_grid(grid: Mapping[str, Any]) -> dict[str, tuple]:
+    """Normalise a parameter grid: every value becomes a tuple of choices."""
+    out: dict[str, tuple] = {}
+    for key, values in grid.items():
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            values = (values,)
+        out[str(key)] = tuple(values)
+    return out
+
+
+def _expand(grid: dict[str, tuple]) -> Iterator[tuple[tuple[str, Any], ...]]:
+    """Cartesian product of a grid as sorted (key, value) tuples."""
+    keys = sorted(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield tuple(zip(keys, combo))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one sweep.
+
+    Attributes:
+        name: Sweep id; used for output file names only (never hashed).
+        topology: Topology family name.
+        algorithm: Algorithm factory name.
+        topology_grid: Parameter name -> value or sequence of values.
+        algorithm_grid: Parameter name -> value or sequence of values.
+        trials: Monte-Carlo repetitions per point.
+        base_seed: First trial seed at every point.
+        max_steps: Optional step limit override for every point.
+    """
+
+    name: str
+    topology: str
+    algorithm: str
+    topology_grid: Mapping[str, Any] = field(default_factory=dict)
+    algorithm_grid: Mapping[str, Any] = field(default_factory=dict)
+    trials: int = 5
+    base_seed: int = 0
+    max_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be positive, got {self.trials}")
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the grids into concrete sweep points (stable order)."""
+        topo_grid = _as_grid(self.topology_grid)
+        algo_grid = _as_grid(self.algorithm_grid)
+        return [
+            SweepPoint(
+                topology=self.topology,
+                topology_params=topo_params,
+                algorithm=self.algorithm,
+                algorithm_params=algo_params,
+                trials=self.trials,
+                base_seed=self.base_seed,
+                max_steps=self.max_steps,
+            )
+            for topo_params in _expand(topo_grid)
+            for algo_params in _expand(algo_grid)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "topology_grid": {k: list(v) for k, v in _as_grid(self.topology_grid).items()},
+            "algorithm_grid": {k: list(v) for k, v in _as_grid(self.algorithm_grid).items()},
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a JSON document (the ``repro sweep --spec`` format)."""
+        known = {
+            "name", "topology", "algorithm", "topology_grid",
+            "algorithm_grid", "trials", "base_seed", "max_steps",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown sweep spec fields: {sorted(unknown)}")
+        for required in ("name", "topology", "algorithm"):
+            if required not in payload:
+                raise ConfigurationError(f"sweep spec is missing {required!r}")
+        return cls(
+            name=str(payload["name"]),
+            topology=str(payload["topology"]),
+            algorithm=str(payload["algorithm"]),
+            topology_grid=dict(payload.get("topology_grid", {})),
+            algorithm_grid=dict(payload.get("algorithm_grid", {})),
+            trials=int(payload.get("trials", 5)),
+            base_seed=int(payload.get("base_seed", 0)),
+            max_steps=payload.get("max_steps"),
+        )

@@ -12,18 +12,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.randomized import KnownRadiusKP, StageTimetable
+from repro.sim.coins import CoinSource, derive_trial_seeds
 
 
 def _empirical_rate(algo, slot: int, eligible_wake: int, trials: int = 4000) -> float:
-    """Fraction of trials in which one eligible node transmits at ``slot``."""
+    """Fraction of trials in which one eligible node transmits at ``slot``.
+
+    Coins are slot-indexed per (seed, label, step), so each trial is one
+    run seed: the empirical frequency samples across the seed axis —
+    exactly the randomness Monte-Carlo estimates average over.
+    """
     labels = np.arange(1, 2)  # a single non-source node
-    wake = np.array([eligible_wake], dtype=np.int64)
-    rng = np.random.default_rng(123)
-    hits = 0
-    for _ in range(trials):
-        if algo.transmit_mask(slot, labels, wake, algo._phases[0].r2 - 1, rng)[0]:
-            hits += 1
-    return hits / trials
+    wake = np.tile(np.array([eligible_wake], dtype=np.int64), (trials, 1))
+    coins = CoinSource.for_batch(derive_trial_seeds(123, trials), labels)
+    mask = algo.transmit_mask(slot, labels, wake, algo._phases[0].r2 - 1, coins)
+    mask = np.broadcast_to(mask, wake.shape)
+    return float(mask[:, 0].mean())
 
 
 def test_sweep_probabilities_match_timetable():

@@ -1,0 +1,121 @@
+"""Seed derivation and slot-indexed coins: the exact streams are pinned.
+
+Every engine — reference, fast, batched — derives per-node randomness
+through :mod:`repro.sim.coins`.  These tests pin the derived streams to
+literal values so that any change to the derivation (which would silently
+re-randomise every experiment in the repo) fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim.coins import (
+    NODE_STREAM_TEMPLATE,
+    CoinSource,
+    NodeRandom,
+    coin_uniform,
+    derive_node_rng,
+    derive_trial_seeds,
+    node_key,
+)
+
+
+class TestNodeRngDerivation:
+    def test_matches_string_seeded_random(self):
+        """The node stream is exactly random.Random(f"{seed}:{label}")."""
+        ours = derive_node_rng(7, 3)
+        stdlib = random.Random(NODE_STREAM_TEMPLATE.format(seed=7, label=3))
+        assert [ours.random() for _ in range(20)] == [
+            stdlib.random() for _ in range(20)
+        ]
+
+    def test_pinned_stream(self):
+        rng = derive_node_rng(7, 3)
+        assert [rng.random() for _ in range(3)] == pytest.approx(
+            [0.7743612107349676, 0.13619858678486585, 0.040073600947083676],
+            abs=0.0,
+        )
+
+    def test_distinct_nodes_get_distinct_streams(self):
+        draws = {derive_node_rng(5, label).random() for label in range(50)}
+        assert len(draws) == 50
+
+    def test_is_node_random(self):
+        rng = derive_node_rng(11, 4)
+        assert isinstance(rng, NodeRandom)
+        assert rng.run_seed == 11 and rng.label == 4
+
+
+class TestTrialSeeds:
+    def test_pinned_convention(self):
+        """Trial i uses base_seed + i — the repo-wide Monte-Carlo convention."""
+        assert derive_trial_seeds(0, 4) == [0, 1, 2, 3]
+        assert derive_trial_seeds(100, 3) == [100, 101, 102]
+
+    def test_empty(self):
+        assert derive_trial_seeds(9, 0) == []
+
+
+class TestSlotIndexedCoins:
+    PINNED = [
+        ((0, 0, 0), 0.20310281705476096),
+        ((0, 0, 1), 0.5344431230972023),
+        ((7, 3, 0), 0.7876322589389549),
+        ((7, 3, 100), 0.7791027852935466),
+        ((123, 42, 999), 0.9214387094175515),
+    ]
+
+    @pytest.mark.parametrize("args,expected", PINNED)
+    def test_pinned_values(self, args, expected):
+        assert coin_uniform(*args) == expected
+
+    def test_pinned_node_keys(self):
+        assert node_key(0, 0) == 0x48218226FF3CD4BF
+        assert node_key(7, 3) == 0x92F5ABBE51458C8F
+
+    def test_range(self):
+        values = [coin_uniform(1, l, t) for l in range(8) for t in range(64)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # and they look uniform enough not to be a constant or degenerate
+        assert 0.3 < sum(values) / len(values) < 0.7
+
+    def test_node_random_coin_matches_scalar(self):
+        rng = derive_node_rng(9, 5)
+        assert [rng.coin(t) for t in range(10)] == [
+            coin_uniform(9, 5, t) for t in range(10)
+        ]
+
+
+class TestCoinSource:
+    def test_run_matches_scalar(self):
+        labels = np.arange(6)
+        coins = CoinSource.for_run(31, labels)
+        for step in (0, 1, 17, 1000):
+            expected = np.array([coin_uniform(31, l, step) for l in labels])
+            np.testing.assert_array_equal(coins.uniform(step), expected)
+
+    def test_batch_rows_match_runs(self):
+        """Row t of a batch is exactly the single-run source for seed t."""
+        labels = np.arange(5)
+        seeds = derive_trial_seeds(40, 3)
+        batch = CoinSource.for_batch(seeds, labels)
+        for step in (0, 3, 250):
+            got = batch.uniform(step)
+            assert got.shape == (3, 5)
+            for row, seed in enumerate(seeds):
+                np.testing.assert_array_equal(
+                    got[row], CoinSource.for_run(seed, labels).uniform(step)
+                )
+
+    def test_steps_are_independent_lookups(self):
+        """Coins are counter-based: evaluation order cannot matter."""
+        labels = np.arange(4)
+        coins = CoinSource.for_run(2, labels)
+        forward = [coins.uniform(t).copy() for t in range(5)]
+        backward = [coins.uniform(t) for t in reversed(range(5))][::-1]
+        for a, b in zip(forward, backward):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,88 @@
+"""Differential suite: three execution paths, one semantics.
+
+For every oblivious algorithm in the repo, the per-node reference engine
+(:func:`run_broadcast`), the vectorised single-run engine
+(:func:`run_broadcast_fast`), and the batched multi-trial engine
+(:func:`run_broadcast_batch`, one trial extracted per seed) must produce
+*identical* executions — the same per-node wake slots, not merely the
+same distribution.  Slot-indexed coins (:mod:`repro.sim.coins`) are what
+make this possible; this suite is the lock on that contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BGIBroadcast,
+    CentralizedGreedySchedule,
+    RoundRobinBroadcast,
+    SelectiveFamilyBroadcast,
+)
+from repro.core import KnownRadiusKP, OptimalRandomizedBroadcasting
+from repro.sim import run_broadcast, run_broadcast_batch, run_broadcast_fast
+from repro.topology import km_hard_layered, path, star, uniform_complete_layered
+
+SEEDS = [0, 1, 5]
+
+# Small stage constants keep the randomized schedules short; every other
+# parameter is the library default.
+ALGORITHMS = {
+    "kp-known-d": lambda net: KnownRadiusKP(
+        net.r, max(1, net.radius), stage_constant=4
+    ),
+    "kp-optimal": lambda net: OptimalRandomizedBroadcasting(net.r, stage_constant=4),
+    "bgi": lambda net: BGIBroadcast(net.r),
+    "round-robin": lambda net: RoundRobinBroadcast(net.r),
+    "selective-family": lambda net: SelectiveFamilyBroadcast(net.r, "random"),
+    "centralized": lambda net: CentralizedGreedySchedule(net),
+}
+
+TOPOLOGIES = {
+    "path": lambda: path(9),
+    "star": lambda: star(8),
+    "layered": lambda: uniform_complete_layered(30, 3),
+    "km-hard": lambda: km_hard_layered(48, 4, seed=5),
+}
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {name: build() for name, build in TOPOLOGIES.items()}
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+def test_three_engines_identical(networks, topo, algo_name):
+    net = networks[topo]
+    make = ALGORITHMS[algo_name]
+
+    batched = run_broadcast_batch(net, make(net), seeds=SEEDS)
+    for seed, from_batch in zip(SEEDS, batched):
+        reference = run_broadcast(net, make(net), seed=seed)
+        fast = run_broadcast_fast(net, make(net), seed=seed)
+
+        assert reference.completed and fast.completed and from_batch.completed, (
+            topo, algo_name, seed,
+        )
+        assert fast.wake_times == reference.wake_times, (topo, algo_name, seed)
+        assert from_batch.wake_times == reference.wake_times, (topo, algo_name, seed)
+        assert fast.time == reference.time == from_batch.time
+        assert fast.layer_times == reference.layer_times == from_batch.layer_times
+
+
+@pytest.mark.parametrize("algo_name", ["kp-known-d", "bgi"])
+def test_engines_agree_on_incomplete_runs(algo_name):
+    """Under a tight step budget all three paths stall identically."""
+    net = km_hard_layered(48, 4, seed=5)
+    make = ALGORITHMS[algo_name]
+    budget = 3
+
+    reference = run_broadcast(net, make(net), seed=1, max_steps=budget)
+    fast = run_broadcast_fast(net, make(net), seed=1, max_steps=budget)
+    (from_batch,) = run_broadcast_batch(net, make(net), seeds=[1], max_steps=budget)
+
+    assert not reference.completed
+    assert fast.wake_times == reference.wake_times == from_batch.wake_times
+    assert fast.informed == reference.informed == from_batch.informed
+    assert fast.time == reference.time == from_batch.time == budget

@@ -1,0 +1,177 @@
+"""Sweep subsystem: spec expansion, caching, and the parallel runner.
+
+The cache regression tests are the teeth of the subsystem: a second
+unchanged invocation must perform *zero* engine runs (observed through
+the runner's run counter) and return byte-identical results, while a
+changed parameter invalidates exactly the points it touches.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.sweep import (
+    ResultCache,
+    SweepPoint,
+    SweepSpec,
+    build_algorithm,
+    build_topology,
+    canonical_json,
+    engine_run_count,
+    execute_point,
+    reset_engine_run_counter,
+    run_sweep,
+)
+
+SMALL_SPEC = dict(
+    name="unit",
+    topology="layered",
+    algorithm="kp-known-d",
+    topology_grid={"n": [12, 18], "depth": 3},
+    algorithm_grid={"stage_constant": 4},
+    trials=2,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counter():
+    reset_engine_run_counter()
+    yield
+    reset_engine_run_counter()
+
+
+class TestSpec:
+    def test_grid_expansion(self):
+        spec = SweepSpec(**SMALL_SPEC)
+        points = spec.points()
+        assert len(points) == 2
+        assert [dict(p.topology_params)["n"] for p in points] == [12, 18]
+        for p in points:
+            assert p.trials == 2
+            assert dict(p.algorithm_params) == {"stage_constant": 4}
+
+    def test_scalar_values_become_single_choices(self):
+        spec = SweepSpec(name="s", topology="path", algorithm="round-robin",
+                         topology_grid={"n": 8})
+        assert len(spec.points()) == 1
+
+    def test_roundtrip_through_dict(self):
+        spec = SweepSpec(**SMALL_SPEC)
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.points() == spec.points()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({**SMALL_SPEC, "typo_field": 1})
+
+    def test_from_dict_requires_name_topology_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"name": "x", "topology": "path"})
+
+    def test_hash_ignores_sweep_name(self):
+        a = SweepSpec(**SMALL_SPEC).points()[0]
+        b = SweepSpec(**{**SMALL_SPEC, "name": "renamed"}).points()[0]
+        assert a.content_hash("v1") == b.content_hash("v1")
+
+    def test_hash_depends_on_params_and_code_version(self):
+        a = SweepSpec(**SMALL_SPEC).points()[0]
+        changed = SweepSpec(**{**SMALL_SPEC, "trials": 3}).points()[0]
+        assert a.content_hash("v1") != changed.content_hash("v1")
+        assert a.content_hash("v1") != a.content_hash("v2")
+
+
+class TestRegistry:
+    def test_build_topology(self):
+        net = build_topology("path", {"n": 7})
+        assert net.n == 7
+
+    def test_build_algorithm(self):
+        net = build_topology("path", {"n": 7})
+        algo = build_algorithm("round-robin", net, {})
+        assert algo.deterministic
+
+    def test_unknown_names_raise(self):
+        net = build_topology("star", {"n": 5})
+        with pytest.raises(ConfigurationError):
+            build_topology("moebius", {})
+        with pytest.raises(ConfigurationError):
+            build_algorithm("gossip-3000", net, {})
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("path", {"n": 7, "curvature": 2})
+
+
+class TestRunnerAndCache:
+    def test_warm_rerun_hits_cache_with_zero_engine_runs(self, tmp_path):
+        spec = SweepSpec(**SMALL_SPEC)
+        cache = ResultCache(tmp_path)
+
+        first = run_sweep(spec, cache=cache)
+        assert first.executed == 2 and first.from_cache == 0
+        assert engine_run_count() == 2 * spec.trials
+
+        reset_engine_run_counter()
+        second = run_sweep(spec, cache=cache)
+        assert second.executed == 0 and second.from_cache == 2
+        assert engine_run_count() == 0
+        assert second.to_json() == first.to_json()
+
+    def test_changed_parameter_invalidates_only_affected_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=cache)
+
+        reset_engine_run_counter()
+        changed = SweepSpec(**{**SMALL_SPEC,
+                               "topology_grid": {"n": [12, 24], "depth": 3}})
+        outcome = run_sweep(changed, cache=cache)
+        # n=12 is untouched and comes from the cache; n=24 is new.
+        assert [r.cached for r in outcome.results] == [True, False]
+        assert engine_run_count() == changed.trials
+
+    def test_no_cache_runs_everything(self, tmp_path):
+        spec = SweepSpec(**SMALL_SPEC)
+        run_sweep(spec, cache=ResultCache(tmp_path))
+        reset_engine_run_counter()
+        outcome = run_sweep(spec, cache=None)
+        assert outcome.executed == 2
+        assert engine_run_count() == 2 * spec.trials
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        spec = SweepSpec(**SMALL_SPEC)
+        cache = ResultCache(tmp_path)
+        first = run_sweep(spec, cache=cache)
+        cache.path_for(spec.points()[0]).write_text("{not json", encoding="utf-8")
+        second = run_sweep(spec, cache=cache)
+        assert [r.cached for r in second.results] == [False, True]
+        assert second.to_json() == first.to_json()
+
+    def test_workers_produce_identical_results(self, tmp_path):
+        spec = SweepSpec(**SMALL_SPEC)
+        serial = run_sweep(spec, workers=1, cache=None)
+        pooled = run_sweep(spec, workers=2, cache=None)
+        assert pooled.to_json() == serial.to_json()
+
+    def test_execute_point_is_deterministic(self):
+        point = SweepSpec(**SMALL_SPEC).points()[0]
+        a = execute_point(point.canonical())
+        b = execute_point(point.canonical())
+        assert canonical_json(a) == canonical_json(b)
+        assert a["runs"] == point.trials
+        assert len(a["times"]) == point.trials
+
+    def test_deterministic_algorithm_collapses_to_one_run(self, tmp_path):
+        spec = SweepSpec(name="det", topology="path", algorithm="round-robin",
+                         topology_grid={"n": 9}, trials=6)
+        outcome = run_sweep(spec, cache=None)
+        # repeat_broadcast runs deterministic algorithms once.
+        assert outcome.results[0].payload["runs"] == 1
+        assert engine_run_count() == 1
+
+    def test_run_counter_matches_trials(self):
+        spec = SweepSpec(**SMALL_SPEC)
+        run_sweep(spec, cache=None)
+        assert engine_run_count() == len(spec.points()) * spec.trials

@@ -99,6 +99,44 @@ def test_run_save_and_load_round_trip(tmp_path, capsys):
     assert f"time: {saved.time} slots" in out
 
 
+def test_sweep_quick(tmp_path, capsys):
+    code = main(["sweep", "--quick", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 points (2 executed, 0 from cache)" in out
+    assert list(tmp_path.glob("*.json"))
+    # Warm re-run: everything from cache.
+    code = main(["sweep", "--quick", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "(0 executed, 2 from cache)" in out
+
+
+def test_sweep_spec_file_and_json_output(tmp_path, capsys):
+    import json
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({
+        "name": "cli-test",
+        "topology": "path",
+        "algorithm": "round-robin",
+        "topology_grid": {"n": [6, 8]},
+        "trials": 2,
+    }))
+    code = main(["sweep", "--spec", str(spec_file), "--no-cache", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    document = json.loads(out)
+    assert document["spec"]["name"] == "cli-test"
+    assert len(document["points"]) == 2
+    assert all(p["completed"] == p["runs"] for p in document["points"])
+
+
+def test_sweep_requires_spec_or_quick():
+    with pytest.raises(SystemExit):
+        main(["sweep"])
+
+
 def test_experiment_json_output(capsys):
     code = main(["experiment", "e10", "--quick", "--json"])
     out = capsys.readouterr().out
