@@ -34,6 +34,7 @@ from . import analysis, baselines, combinatorics, core, sim, topology
 from .sim import (
     BroadcastAlgorithm,
     BroadcastResult,
+    FaultPlan,
     Message,
     Protocol,
     RadioNetwork,
@@ -49,6 +50,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BroadcastAlgorithm",
     "BroadcastResult",
+    "FaultPlan",
     "Message",
     "Protocol",
     "RadioNetwork",

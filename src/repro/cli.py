@@ -8,7 +8,7 @@ Subcommands:
   seeds and print a comparison table.
 * ``adversary`` — build the Section 3 lower-bound network against a
   deterministic algorithm, verify Lemma 9, and report the floors.
-* ``experiment`` — run one of the paper-claim experiments (e1..e11) and
+* ``experiment`` — run one of the paper-claim experiments (e1..e12) and
   print its tables and claim verdicts.
 * ``sweep`` — expand a declarative sweep spec (topology grid × algorithm
   × trials), run the points on the batched engine across worker
@@ -18,11 +18,13 @@ Subcommands:
 Examples::
 
     repro run --topology geometric --n 200 --algorithm kp
+    repro run --topology gnp --n 64 --algorithm bgi --faults plan.json
     repro compare --topology km-layered --n 1024 --depth 64 --runs 10
     repro adversary --algorithm round-robin --n 512 --depth 16
     repro experiment e6 --quick
     repro sweep --quick --workers 4
     repro sweep --spec my_sweep.json --json
+    repro sweep --spec my_sweep.json --faults plan.json --timeout 120 --retries 2
     repro universal --r 65536 --d 16384
 """
 
@@ -108,6 +110,26 @@ def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology-seed", type=int, default=0)
 
 
+def _load_fault_plan(path: str) -> "object":
+    """Read a :class:`~repro.sim.faults.FaultPlan` JSON document."""
+    import json
+
+    from .sim import FaultPlan
+    from .sim.errors import ConfigurationError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read fault plan: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"fault plan {path} is not valid JSON: {exc}")
+    try:
+        return FaultPlan.from_dict(document)
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad fault plan: {exc}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .sim import load_network, save_network, save_result
 
@@ -117,11 +139,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         net = _build_topology(args)
     algorithm = _build_algorithm(args.algorithm, net)
     level = TraceLevel.FULL if args.trace else TraceLevel.NONE
-    result = run_broadcast(net, algorithm, seed=args.seed, trace_level=level)
+    faults = _load_fault_plan(args.faults) if args.faults else None
+    from .sim.errors import ConfigurationError
+
+    try:
+        result = run_broadcast(
+            net, algorithm, seed=args.seed, trace_level=level, faults=faults
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"run failed: {exc}")
     print(net.describe())
     print(f"algorithm: {result.algorithm}")
     print(f"completed: {result.completed}  time: {result.time} slots  "
           f"informed: {result.informed}/{result.n}")
+    if result.fault_counters is not None:
+        fc = result.fault_counters
+        print(f"faults: crashed {fc.crashed_nodes}  jammed {fc.jammed_slots}  "
+              f"lost {fc.lost_messages}  delayed {fc.delayed_wakes}")
     if args.trace:
         print(result.trace.format_timeline(max_steps=args.trace_steps))
     if args.save_network:
@@ -223,11 +257,12 @@ QUICK_SWEEP = {
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
     import json
 
     from .sweep import DEFAULT_CACHE_DIR, ResultCache, SweepSpec, run_sweep
 
-    from .sim.errors import ConfigurationError
+    from .sim.errors import ConfigurationError, SimulationError
 
     if args.spec:
         try:
@@ -245,12 +280,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = SweepSpec.from_dict(QUICK_SWEEP)
     else:
         raise SystemExit("provide --spec FILE.json or --quick")
+    if args.faults:
+        try:
+            spec = dataclasses.replace(spec, faults=_load_fault_plan(args.faults))
+        except ConfigurationError as exc:
+            raise SystemExit(f"bad sweep spec: {exc}")
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
     try:
-        outcome = run_sweep(spec, workers=args.workers, cache=cache)
-    except ConfigurationError as exc:
+        outcome = run_sweep(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except SimulationError as exc:
+        # Covers bad configurations and SweepExecutionError — points that
+        # kept failing after their retry budget (their successful
+        # siblings are already cached).
         raise SystemExit(f"sweep failed: {exc}")
     if args.json:
         print(outcome.to_json())
@@ -294,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="save the network to JSON after the run")
     p_run.add_argument("--save-result", metavar="FILE",
                        help="save the result to JSON after the run")
+    p_run.add_argument("--faults", metavar="FILE",
+                       help="fault plan JSON (crashes, jams, loss, wake delays)")
     p_run.set_defaults(func=_cmd_run)
 
     p_gossip = sub.add_parser(
@@ -319,7 +370,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_exp = sub.add_parser(
         "experiment",
-        help="run a paper-claim experiment (e1..e10, or 'all')",
+        help="run a paper-claim experiment (e1..e12, or 'all')",
     )
     p_exp.add_argument("name", help="experiment id, e.g. e1, or 'all'")
     p_exp.add_argument("--quick", action="store_true",
@@ -343,6 +394,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="cache location (default benchmarks/results/sweep-cache)")
     p_sweep.add_argument("--json", action="store_true",
                          help="emit the full outcome as canonical JSON")
+    p_sweep.add_argument("--faults", metavar="FILE",
+                         help="fault plan JSON applied at every point "
+                              "(overrides the spec's own plan)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-point wall-clock budget in seconds")
+    p_sweep.add_argument("--retries", type=int, default=0,
+                         help="re-attempts per failed/timed-out/killed point")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_uni = sub.add_parser("universal", help="build a Lemma 1 universal sequence")

@@ -17,6 +17,7 @@ from . import (  # noqa: F401  (import for registration side effects)
     e9_ablation,
     e10_echo,
     e11_oblivious_adversary,
+    e12_fault_tolerance,
 )
 from .base import Claim, ExperimentReport, all_experiments, get_experiment
 

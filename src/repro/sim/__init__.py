@@ -23,11 +23,13 @@ from .fast import (
     run_broadcast_batch,
     run_broadcast_fast,
 )
+from .faults import FaultCounters, FaultPlan, derive_fault_seed
 from .messages import SOURCE_PAYLOAD, Message, source_message
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol
 from .run import (
     BroadcastResult,
+    default_max_steps,
     derive_node_rng,
     derive_trial_seeds,
     repeat_broadcast,
@@ -50,6 +52,8 @@ __all__ = [
     "CoinSource",
     "ConfigurationError",
     "FastEngine",
+    "FaultCounters",
+    "FaultPlan",
     "NodeRandom",
     "Message",
     "NetworkError",
@@ -69,6 +73,8 @@ __all__ = [
     "TraceLevel",
     "VectorizedAlgorithm",
     "coin_uniform",
+    "default_max_steps",
+    "derive_fault_seed",
     "derive_node_rng",
     "derive_trial_seeds",
     "repeat_broadcast",

@@ -24,6 +24,7 @@ from typing import Callable
 
 from .coins import derive_node_rng
 from .errors import ConfigurationError
+from .faults import NEVER, FaultCounters, FaultPlan, derive_fault_seed, scalar_loss_coin
 from .messages import Message
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm, Protocol
@@ -54,6 +55,10 @@ class SynchronousEngine:
             collision carries no content, so it cannot inform.  Used by
             the Section 4.1 ablation that measures what simulating
             collision detection with Echo costs.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` applied to
+            this execution (crashes, jamming, message loss, wake delays).
+            Semantics are identical on the vectorised engines — the
+            differential suite asserts bit-identical faulty executions.
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class SynchronousEngine:
         trace_level: TraceLevel = TraceLevel.NONE,
         step_hook: Callable[[int, tuple[int, ...]], None] | None = None,
         collision_detection: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.network = network
         self.algorithm = algorithm
@@ -72,6 +78,28 @@ class SynchronousEngine:
         self.step_hook = step_hook
         self.collision_detection = collision_detection
         self.step = 0
+        self.faults = faults
+        self.fault_counters: FaultCounters | None = None
+        self._crash_slots: dict[int, int] = {}
+        self._crashes_by_slot: dict[int, int] = {}
+        self._deaf_until: dict[int, int] = {}
+        self._jams_by_slot: dict[int, frozenset[int]] = {}
+        self._loss_probability = 0.0
+        self._fault_seed = 0
+        if faults is not None:
+            faults.validate_for(network)
+            self.fault_counters = FaultCounters()
+            self.trace.fault_counters = self.fault_counters
+            self._crash_slots = dict(faults.crashes)
+            for _, slot in faults.crashes:
+                self._crashes_by_slot[slot] = self._crashes_by_slot.get(slot, 0) + 1
+            self._deaf_until = dict(faults.wake_delays)
+            jams: dict[int, set[int]] = {}
+            for slot, receiver in faults.jams:
+                jams.setdefault(slot, set()).add(receiver)
+            self._jams_by_slot = {slot: frozenset(rs) for slot, rs in jams.items()}
+            self._loss_probability = faults.loss_probability
+            self._fault_seed = derive_fault_seed(faults.seed, seed)
         #: label -> live protocol instance; only informed nodes appear here.
         self.protocols: dict[int, Protocol] = {}
         #: label -> step at which the node was informed (source: -1).
@@ -89,6 +117,28 @@ class SynchronousEngine:
     def all_informed(self) -> bool:
         """Whether broadcasting has completed."""
         return len(self.protocols) == self.network.n
+
+    @property
+    def all_settled(self) -> bool:
+        """Whether no further wake-up is possible.
+
+        Without crashes this is :attr:`all_informed`.  With crashes, a
+        node that crashed while still asleep can never be informed, so
+        the run is *settled* (and may stop) once every node is either
+        informed or dead.
+        """
+        if not self._crash_slots:
+            return self.all_informed
+        step = self.step
+        for label in self.network.nodes:
+            if label in self.protocols:
+                continue
+            if self._crash_slots.get(label, NEVER) > step:
+                return False
+        return True
+
+    def _dead(self, label: int, step: int) -> bool:
+        return self._crash_slots.get(label, NEVER) <= step
 
     def _make_rng(self, label: int) -> random.Random:
         # Shared derivation (repro.sim.coins via repro.sim.run): the same
@@ -117,9 +167,18 @@ class SynchronousEngine:
         """
         step = self.step
         out_neighbors = self.network.out_neighbors
+        faulty = self.faults is not None
+        jam_set: frozenset[int] = frozenset()
+        if faulty:
+            counters = self.fault_counters
+            counters.crashed_nodes += self._crashes_by_slot.get(step, 0)
+            jam_set = self._jams_by_slot.get(step, frozenset())
+            counters.jammed_slots += len(jam_set)
 
         transmissions: dict[int, Message] = {}
         for label, protocol in self.protocols.items():
+            if faulty and self._dead(label, step):
+                continue  # crashed nodes are silent forever
             payload = protocol.next_action(step)
             if payload is not None:
                 transmissions[label] = Message(sender=label, payload=payload)
@@ -140,14 +199,31 @@ class SynchronousEngine:
         for receiver, count in hits.items():
             if receiver in transmissions:
                 continue  # half-duplex: transmitters hear nothing
+            if faulty and self._dead(receiver, step):
+                continue  # crashed nodes receive nothing
             if count == 1:
+                # Fault pipeline on a would-be delivery: jam, then loss,
+                # then wake-delay; the first suppressing stage wins.
+                if receiver in jam_set:
+                    continue  # jammed: noise, indistinguishable from silence
+                if (
+                    self._loss_probability > 0.0
+                    and scalar_loss_coin(self._fault_seed, receiver, step)
+                    < self._loss_probability
+                ):
+                    counters.lost_messages += 1
+                    continue
                 message = incoming[receiver]
-                deliveries[receiver] = message.sender
                 protocol = self.protocols.get(receiver)
                 if protocol is None:
+                    if faulty and step < self._deaf_until.get(receiver, 0):
+                        counters.delayed_wakes += 1
+                        continue  # wake-up delayed: the message is ignored
+                    deliveries[receiver] = message.sender
                     self._wake(receiver, step, message)
                     woken.append(receiver)
                 else:
+                    deliveries[receiver] = message.sender
                     protocol.observe(step, message)
             else:
                 if record_full:
@@ -165,6 +241,8 @@ class SynchronousEngine:
         for label, protocol in list(self.protocols.items()):
             if self.wake_times[label] == step:
                 continue  # just woken; on_wake already saw the message
+            if faulty and self._dead(label, step):
+                continue  # crashed nodes observe nothing
             if label not in deliveries:
                 protocol.observe(
                     step, COLLISION_MARKER if label in collided_listeners else None
@@ -190,10 +268,12 @@ class SynchronousEngine:
 
         Args:
             max_steps: Hard cap on the number of slots to execute.
-            stop_when_informed: Stop as soon as every node is informed
-                (the usual broadcasting-time measurement).  When False the
-                engine always executes exactly ``max_steps`` slots, which
-                some fixed-schedule algorithms need.
+            stop_when_informed: Stop as soon as every node is informed —
+                or, under a fault plan with crashes, as soon as every
+                node is informed *or irrecoverably dead* (the usual
+                broadcasting-time measurement).  When False the engine
+                always executes exactly ``max_steps`` slots, which some
+                fixed-schedule algorithms need.
 
         Returns:
             The number of slots executed.
@@ -202,7 +282,7 @@ class SynchronousEngine:
             raise ConfigurationError(f"max_steps must be non-negative, got {max_steps}")
         executed = 0
         while executed < max_steps:
-            if stop_when_informed and self.all_informed:
+            if stop_when_informed and self.all_settled:
                 break
             self.run_step()
             executed += 1

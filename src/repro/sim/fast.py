@@ -34,8 +34,9 @@ from scipy import sparse
 
 from .coins import CoinSource, derive_trial_seeds
 from .errors import ConfigurationError
+from .faults import CompiledFaults, FaultCounters, FaultPlan, compile_faults, derive_fault_seed
 from .network import RadioNetwork
-from .run import BroadcastResult, _layer_times
+from .run import BroadcastResult, _layer_times, default_max_steps
 from .trace import Trace, TraceLevel
 
 __all__ = [
@@ -107,15 +108,6 @@ def _build_adjacency(network: RadioNetwork, index: dict[int, int]) -> sparse.csr
     return sparse.csr_matrix((data, (rows, cols)), shape=(n, n), dtype=np.int32)
 
 
-def _default_max_steps(network: RadioNetwork, algorithm: VectorizedAlgorithm) -> int:
-    """The step-limit rule shared with :func:`repro.sim.run.run_broadcast`."""
-    hint = getattr(algorithm, "max_steps_hint", None)
-    max_steps = hint(network.n, network.r) if hint is not None else None
-    if max_steps is None:
-        max_steps = 64 * network.n * (network.n.bit_length() + 1)
-    return max_steps
-
-
 def _check_vectorized(algorithm) -> None:
     if not isinstance(algorithm, VectorizedAlgorithm):
         raise ConfigurationError(
@@ -133,9 +125,17 @@ class FastEngine:
         seed: Master seed; coins are the slot-indexed flips of
             :mod:`repro.sim.coins`, identical to what the reference
             engine's per-node protocols draw.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan`; applied
+            with exactly the reference engine's semantics.
     """
 
-    def __init__(self, network: RadioNetwork, algorithm: VectorizedAlgorithm, seed: int = 0):
+    def __init__(
+        self,
+        network: RadioNetwork,
+        algorithm: VectorizedAlgorithm,
+        seed: int = 0,
+        faults: FaultPlan | None = None,
+    ):
         _check_vectorized(algorithm)
         self.network = network
         self.algorithm = algorithm
@@ -147,6 +147,15 @@ class FastEngine:
         self.wake_steps = np.full(network.n, ASLEEP, dtype=np.int64)
         self.wake_steps[self._index[network.source]] = -1
         self.step = 0
+        self.faults = faults
+        self.fault_counters: FaultCounters | None = None
+        self._cf: CompiledFaults | None = None
+        if faults is not None:
+            self._cf = compile_faults(
+                faults, network, self._index, self.labels,
+                [derive_fault_seed(faults.seed, seed)],
+            )
+            self.fault_counters = FaultCounters()
         # Stateful schedules (e.g. Decay's per-phase activity mask) get a
         # fresh-run notification so algorithm objects can be reused.
         reset = getattr(algorithm, "reset_run", None)
@@ -168,19 +177,62 @@ class FastEngine:
     def informed_count(self) -> int:
         return int(self.awake.sum())
 
+    @property
+    def all_settled(self) -> bool:
+        """No further wake possible: informed, or crashed while asleep."""
+        cf = self._cf
+        if cf is None or not cf.has_crashes:
+            return self.all_informed
+        return bool((self.awake | (cf.crash_slots <= self.step)).all())
+
     def run_step(self) -> np.ndarray:
         """Execute one slot; returns the boolean transmit mask used."""
+        step = self.step
         awake = self.awake
+        cf = self._cf
+        alive = None
+        if cf is not None:
+            counters = self.fault_counters
+            counters.crashed_nodes += cf.crash_counts.get(step, 0)
+            counters.jammed_slots += len(cf.jam_indices.get(step, ()))
+            if cf.has_crashes:
+                alive = cf.crash_slots > step
         mask = self.algorithm.transmit_mask(
-            self.step, self.labels, self.wake_steps, self.network.r, self.coins
+            step, self.labels, self.wake_steps, self.network.r, self.coins
         )
         mask = np.asarray(mask, dtype=bool) & awake  # no spontaneous transmissions
+        if alive is not None:
+            mask &= alive  # crashed nodes are silent forever
         if mask.any():
             hits = mask.astype(np.int32) @ self.adjacency
-            # Exactly-one rule; transmitters cannot receive (half-duplex) but
-            # they are already informed, so only sleepers matter for waking.
-            newly = (~awake) & (np.asarray(hits).ravel() == 1)
-            self.wake_steps[newly] = self.step
+            hits = np.asarray(hits).ravel()
+            if cf is None:
+                # Exactly-one rule; transmitters cannot receive (half-duplex)
+                # but they are already informed, so only sleepers matter.
+                newly = (~awake) & (hits == 1)
+            else:
+                # Fault pipeline, identical to the reference engine:
+                # crash -> jam -> loss -> wake-delay.
+                delivered = (hits == 1) & ~mask
+                if alive is not None:
+                    delivered &= alive
+                jammed = cf.jam_indices.get(step)
+                if jammed is not None and jammed.size:
+                    delivered[jammed] = False
+                if cf.loss_probability > 0.0 and delivered.any():
+                    lost = delivered & (
+                        cf.loss_coins.uniform(step) < cf.loss_probability
+                    )
+                    counters.lost_messages += int(lost.sum())
+                    delivered &= ~lost
+                sleeping = delivered & ~awake
+                if cf.has_delays:
+                    delayed = sleeping & (step < cf.deaf_until)
+                    counters.delayed_wakes += int(delayed.sum())
+                    newly = sleeping & ~delayed
+                else:
+                    newly = sleeping
+            self.wake_steps[newly] = step
         self.step += 1
         return mask
 
@@ -188,7 +240,7 @@ class FastEngine:
         """Run until completion or the step limit; returns slots executed."""
         executed = 0
         while executed < max_steps:
-            if stop_when_informed and self.all_informed:
+            if stop_when_informed and self.all_settled:
                 break
             self.run_step()
             executed += 1
@@ -224,6 +276,11 @@ class BatchedFastEngine:
         algorithm: An oblivious algorithm implementing
             :class:`VectorizedAlgorithm`.
         seeds: One master seed per trial.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan`; crashes,
+            jams and delays are identical across trials (the fault
+            environment is the adversary), while the loss stream is keyed
+            per trial seed — trial ``t`` reproduces exactly
+            ``FastEngine(network, algorithm, seeds[t], faults=faults)``.
     """
 
     def __init__(
@@ -231,6 +288,7 @@ class BatchedFastEngine:
         network: RadioNetwork,
         algorithm: VectorizedAlgorithm,
         seeds: Sequence[int],
+        faults: FaultPlan | None = None,
     ):
         _check_vectorized(algorithm)
         if len(seeds) < 1:
@@ -249,6 +307,24 @@ class BatchedFastEngine:
         self.wake_steps = np.full((self.trials, network.n), ASLEEP, dtype=np.int64)
         self.wake_steps[:, self._index[network.source]] = -1
         self.step = 0
+        self.faults = faults
+        self._cf: CompiledFaults | None = None
+        if faults is not None:
+            self._cf = compile_faults(
+                faults, network, self._index, self.labels,
+                [derive_fault_seed(faults.seed, s) for s in self.seeds],
+            )
+            # All four tallies are per-trial: although crashes and jams
+            # are trial-independent events, a trial stops *accruing* them
+            # once it settles (mirroring the single-run engine, which
+            # stops executing slots at that point), and settle times
+            # differ across trials.  ``_executed`` counts the slots each
+            # trial was still active for — the single-run ``engine.step``.
+            self._crashed = np.zeros(self.trials, dtype=np.int64)
+            self._jammed = np.zeros(self.trials, dtype=np.int64)
+            self._lost = np.zeros(self.trials, dtype=np.int64)
+            self._delayed = np.zeros(self.trials, dtype=np.int64)
+            self._executed = np.zeros(self.trials, dtype=np.int64)
         reset = getattr(algorithm, "reset_run", None)
         if reset is not None:
             reset((self.trials, network.n))
@@ -270,38 +346,120 @@ class BatchedFastEngine:
         """Whether *every* trial has informed every node."""
         return bool(self.awake.all())
 
+    @property
+    def trials_settled(self) -> np.ndarray:
+        """Boolean ``(trials,)`` vector: no further wake possible per trial."""
+        cf = self._cf
+        awake = self.awake
+        if cf is None or not cf.has_crashes:
+            return awake.all(axis=1)
+        return (awake | (cf.crash_slots <= self.step)).all(axis=1)
+
+    @property
+    def all_settled(self) -> bool:
+        """Every trial informed everyone or lost them to crashes."""
+        return bool(self.trials_settled.all())
+
     def informed_counts(self) -> np.ndarray:
         """``(trials,)`` vector of informed-node counts."""
         return self.awake.sum(axis=1)
 
     def run_step(self) -> np.ndarray:
         """Execute one slot across all trials; returns the ``(T, n)`` mask."""
+        step = self.step
         awake = self.awake
+        cf = self._cf
+        alive = None
+        active = None
+        if cf is not None:
+            # Counter parity with the single-run engines: a settled trial
+            # would have stopped executing there, so its tallies freeze.
+            active = ~self.trials_settled
+            self._executed += active
+            crash_count = cf.crash_counts.get(step, 0)
+            if crash_count:
+                self._crashed += crash_count * active
+            jam_count = len(cf.jam_indices.get(step, ()))
+            if jam_count:
+                self._jammed += jam_count * active
+            if cf.has_crashes:
+                alive = cf.crash_slots > step  # (n,), broadcasts over trials
         mask = self.algorithm.transmit_mask(
-            self.step, self.labels, self.wake_steps, self.network.r, self.coins
+            step, self.labels, self.wake_steps, self.network.r, self.coins
         )
         mask = np.broadcast_to(np.asarray(mask, dtype=bool), awake.shape) & awake
+        if alive is not None:
+            mask = mask & alive  # crashed nodes are silent forever
         if mask.any():
             hits = (self._adjacency_t @ mask.T.astype(np.int32)).T
-            newly = (~awake) & (hits == 1)
-            self.wake_steps[newly] = self.step
+            if cf is None:
+                newly = (~awake) & (hits == 1)
+            else:
+                # Fault pipeline, identical to FastEngine per trial row:
+                # crash -> jam -> loss -> wake-delay.
+                delivered = (hits == 1) & ~mask
+                if alive is not None:
+                    delivered &= alive
+                jammed = cf.jam_indices.get(step)
+                if jammed is not None and jammed.size:
+                    delivered[:, jammed] = False
+                if cf.loss_probability > 0.0 and delivered.any():
+                    lost = delivered & (
+                        cf.loss_coins.uniform(step) < cf.loss_probability
+                    )
+                    self._lost += lost.sum(axis=1) * active
+                    delivered &= ~lost
+                sleeping = delivered & ~awake
+                if cf.has_delays:
+                    delayed = sleeping & (step < cf.deaf_until)
+                    self._delayed += delayed.sum(axis=1) * active
+                    newly = sleeping & ~delayed
+                else:
+                    newly = sleeping
+            self.wake_steps[newly] = step
         self.step += 1
         return mask
 
     def run(self, max_steps: int, stop_when_informed: bool = True) -> int:
-        """Run until every trial completes or the step limit; returns slots.
+        """Run until every trial settles or the step limit; returns slots.
 
-        Completed trials keep stepping (their wake times are frozen, so the
-        extra slots are no-ops for them) until the last trial finishes —
-        exactly the per-trial executions of the single-run engine.
+        Settled trials keep stepping (their wake times and fault tallies
+        are frozen, so the extra slots are no-ops for them) until the last
+        trial finishes — exactly the per-trial executions of the
+        single-run engine.
         """
         executed = 0
         while executed < max_steps:
-            if stop_when_informed and self.all_informed:
+            if stop_when_informed and self.all_settled:
                 break
             self.run_step()
             executed += 1
         return executed
+
+    def trial_steps(self, trial: int) -> int:
+        """Slots trial ``trial`` executed before settling or the limit.
+
+        Without a fault plan this is the batch's global step count (a
+        trial only stops early by completing, in which case its time comes
+        from :meth:`completion_times` instead).  Under a plan with crashes
+        a trial can settle *incomplete*, and its executed-slot count —
+        what the single-run engines report as ``engine.step`` — is frozen
+        at that point.
+        """
+        if self._cf is None:
+            return self.step
+        return int(self._executed[trial])
+
+    def fault_counters_for(self, trial: int) -> FaultCounters | None:
+        """Fault tallies of one trial, identical to its single-run values."""
+        if self._cf is None:
+            return None
+        return FaultCounters(
+            crashed_nodes=int(self._crashed[trial]),
+            jammed_slots=int(self._jammed[trial]),
+            lost_messages=int(self._lost[trial]),
+            delayed_wakes=int(self._delayed[trial]),
+        )
 
     def completion_times(self) -> list[int | None]:
         """Per-trial broadcasting times; ``None`` for incomplete trials."""
@@ -326,11 +484,12 @@ def run_broadcast_fast(
     algorithm: VectorizedAlgorithm,
     seed: int = 0,
     max_steps: int | None = None,
+    faults: FaultPlan | None = None,
 ) -> BroadcastResult:
     """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
     if max_steps is None:
-        max_steps = _default_max_steps(network, algorithm)
-    engine = FastEngine(network, algorithm, seed=seed)
+        max_steps = default_max_steps(network, algorithm)
+    engine = FastEngine(network, algorithm, seed=seed, faults=faults)
     engine.run(max_steps)
     completed = engine.all_informed
     time = engine.completion_time if completed else engine.step
@@ -346,6 +505,11 @@ def run_broadcast_fast(
         wake_times=wake_times,
         layer_times=_layer_times(network, wake_times),
         trace=Trace(level=TraceLevel.NONE),
+        fault_counters=(
+            engine.fault_counters.snapshot()
+            if engine.fault_counters is not None
+            else None
+        ),
     )
 
 
@@ -356,12 +520,14 @@ def run_broadcast_batch(
     trials: int | None = None,
     base_seed: int = 0,
     max_steps: int | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[BroadcastResult]:
     """Run many Monte-Carlo trials of one broadcast as a single array program.
 
-    Result ``i`` is *identical* (per-node wake slots included) to
-    ``run_broadcast_fast(network, algorithm, seed=seeds[i])`` — batching is
-    purely an execution strategy, not a semantic variant.
+    Result ``i`` is *identical* (per-node wake slots and fault counters
+    included) to ``run_broadcast_fast(network, algorithm, seed=seeds[i],
+    faults=faults)`` — batching is purely an execution strategy, not a
+    semantic variant.
 
     Args:
         network: Topology to broadcast on.
@@ -375,6 +541,8 @@ def run_broadcast_batch(
         base_seed: First trial seed when ``trials`` is given.
         max_steps: Step limit; defaults exactly as in
             :func:`~repro.sim.run.run_broadcast`.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` applied to
+            every trial (per-trial loss realisations).
 
     Returns:
         One :class:`~repro.sim.run.BroadcastResult` per trial, in seed order.
@@ -388,8 +556,8 @@ def run_broadcast_batch(
             f"trials={trials} conflicts with {len(seeds)} explicit seeds"
         )
     if max_steps is None:
-        max_steps = _default_max_steps(network, algorithm)
-    engine = BatchedFastEngine(network, algorithm, seeds)
+        max_steps = default_max_steps(network, algorithm)
+    engine = BatchedFastEngine(network, algorithm, seeds, faults=faults)
     engine.run(max_steps)
     times = engine.completion_times()
     counts = engine.informed_counts()
@@ -400,7 +568,7 @@ def run_broadcast_batch(
         results.append(
             BroadcastResult(
                 completed=completed,
-                time=times[t] if completed else engine.step,
+                time=times[t] if completed else engine.trial_steps(t),
                 informed=int(counts[t]),
                 n=network.n,
                 radius=network.radius,
@@ -409,6 +577,7 @@ def run_broadcast_batch(
                 wake_times=wake_times,
                 layer_times=_layer_times(network, wake_times),
                 trace=Trace(level=TraceLevel.NONE),
+                fault_counters=engine.fault_counters_for(t),
             )
         )
     return results

@@ -18,17 +18,37 @@ from dataclasses import dataclass, field
 from .coins import derive_node_rng, derive_trial_seeds
 from .engine import SynchronousEngine
 from .errors import BroadcastIncompleteError, ConfigurationError
+from .faults import FaultCounters, FaultPlan
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm
 from .trace import Trace, TraceLevel
 
 __all__ = [
     "BroadcastResult",
+    "default_max_steps",
     "run_broadcast",
     "repeat_broadcast",
     "derive_node_rng",
     "derive_trial_seeds",
 ]
+
+
+def default_max_steps(network: RadioNetwork, algorithm: object) -> int:
+    """The step-limit rule shared by every driver and engine.
+
+    Prefers the algorithm's own ``max_steps_hint`` when it exists *and*
+    returns one; falls back to ``64 * n * (log2(n) + 1)`` — comfortably
+    above every upper bound proved in the paper.  ``getattr`` tolerance
+    matters: duck-typed algorithms (e.g. objects implementing only the
+    vectorised interface) need not subclass
+    :class:`~repro.sim.protocol.BroadcastAlgorithm`, and the reference
+    and fast paths must agree on the default either way.
+    """
+    hint = getattr(algorithm, "max_steps_hint", None)
+    max_steps = hint(network.n, network.r) if hint is not None else None
+    if max_steps is None:
+        max_steps = 64 * network.n * (network.n.bit_length() + 1)
+    return max_steps
 
 
 @dataclass(frozen=True)
@@ -50,6 +70,9 @@ class BroadcastResult:
             layer was informed (index 0 is the source layer, always -1);
             ``None`` entries mark layers not fully informed.
         trace: Channel trace at the requested level of detail.
+        fault_counters: What the fault plan did to this run
+            (:class:`~repro.sim.faults.FaultCounters`); ``None`` when the
+            run executed without a plan.
     """
 
     completed: bool
@@ -62,6 +85,7 @@ class BroadcastResult:
     wake_times: dict[int, int] = field(repr=False, default_factory=dict)
     layer_times: tuple[int | None, ...] = field(repr=False, default=())
     trace: Trace = field(repr=False, default_factory=Trace)
+    fault_counters: FaultCounters | None = field(repr=False, default=None)
 
     @property
     def slowdown_vs_radius(self) -> float:
@@ -87,6 +111,7 @@ def run_broadcast(
     trace_level: TraceLevel = TraceLevel.NONE,
     require_completion: bool = False,
     collision_detection: bool = False,
+    faults: FaultPlan | None = None,
 ) -> BroadcastResult:
     """Execute one broadcast and measure its time.
 
@@ -94,9 +119,9 @@ def run_broadcast(
         network: Topology to broadcast on.
         algorithm: The broadcasting algorithm.
         seed: Master seed for the per-node RNGs.
-        max_steps: Step limit.  Defaults to the algorithm's own hint, and
-            failing that to ``64 * n * (log2(n) + 1)`` — comfortably above
-            every upper bound proved in the paper.
+        max_steps: Step limit.  Defaults to
+            :func:`default_max_steps` — the algorithm's own hint, and
+            failing that ``64 * n * (log2(n) + 1)``.
         trace_level: Channel detail to record.
         require_completion: Raise
             :class:`~repro.sim.errors.BroadcastIncompleteError` instead of
@@ -104,20 +129,22 @@ def run_broadcast(
         collision_detection: Run the collision-detection model variant
             (see :class:`~repro.sim.engine.SynchronousEngine`); requires a
             CD-aware algorithm.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` injected
+            into the execution; the result then carries
+            :attr:`BroadcastResult.fault_counters`.
 
     Returns:
         A :class:`BroadcastResult`.
     """
     if max_steps is None:
-        max_steps = algorithm.max_steps_hint(network.n, network.r)
-    if max_steps is None:
-        max_steps = 64 * network.n * (network.n.bit_length() + 1)
+        max_steps = default_max_steps(network, algorithm)
     engine = SynchronousEngine(
         network,
         algorithm,
         seed=seed,
         trace_level=trace_level,
         collision_detection=collision_detection,
+        faults=faults,
     )
     engine.run(max_steps)
     completed = engine.all_informed
@@ -133,6 +160,11 @@ def run_broadcast(
         wake_times=dict(engine.wake_times),
         layer_times=_layer_times(network, engine.wake_times),
         trace=engine.trace,
+        fault_counters=(
+            engine.fault_counters.snapshot()
+            if engine.fault_counters is not None
+            else None
+        ),
     )
     if require_completion and not completed:
         raise BroadcastIncompleteError(
@@ -151,12 +183,15 @@ def repeat_broadcast(
     max_steps: int | None = None,
     require_completion: bool = True,
     engine: str = "auto",
+    faults: FaultPlan | None = None,
 ) -> list[BroadcastResult]:
     """Run the same broadcast ``runs`` times with seeds ``base_seed + i``.
 
     Used to estimate expected broadcasting time (Corollary 1) and its
     spread.  Deterministic algorithms are detected and run only once — all
-    repetitions would be identical.
+    repetitions would be identical.  (Under a lossy fault plan even a
+    deterministic algorithm's trials differ — the loss stream is keyed by
+    the trial seed — so the collapse only applies when loss is off.)
 
     Oblivious algorithms (anything implementing
     :class:`~repro.sim.fast.VectorizedAlgorithm`) execute all trials as
@@ -168,12 +203,14 @@ def repeat_broadcast(
             ``"batch"`` (require the batched path), or ``"reference"``
             (force the serial per-node engine, e.g. for benchmarking or
             protocols with message-dependent behaviour).
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` applied to
+            every trial (the loss realisation still differs per trial).
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be positive, got {runs}")
     if engine not in ("auto", "batch", "reference"):
         raise ConfigurationError(f"unknown engine {engine!r}")
-    if algorithm.deterministic:
+    if algorithm.deterministic and (faults is None or faults.loss_probability == 0.0):
         runs = 1
     if engine != "reference":
         # Imported lazily: fast.py imports this module for BroadcastResult.
@@ -186,6 +223,7 @@ def repeat_broadcast(
                 trials=runs,
                 base_seed=base_seed,
                 max_steps=max_steps,
+                faults=faults,
             )
             if require_completion:
                 for result in results:
@@ -207,6 +245,7 @@ def repeat_broadcast(
             seed=seed,
             max_steps=max_steps,
             require_completion=require_completion,
+            faults=faults,
         )
         for seed in derive_trial_seeds(base_seed, runs)
     ]

@@ -15,6 +15,7 @@ import pathlib
 from typing import Any
 
 from .errors import ConfigurationError
+from .faults import FaultCounters
 from .network import RadioNetwork
 from .run import BroadcastResult
 
@@ -72,7 +73,7 @@ def network_from_dict(data: dict[str, Any]) -> RadioNetwork:
 def result_to_dict(result: BroadcastResult) -> dict[str, Any]:
     """Plain-dict form of a result (the trace is intentionally dropped:
     traces are debugging artifacts, not measurements)."""
-    return {
+    data = {
         "format": _FORMAT_RESULT,
         "version": _VERSION,
         "completed": result.completed,
@@ -85,6 +86,10 @@ def result_to_dict(result: BroadcastResult) -> dict[str, Any]:
         "wake_times": {str(label): step for label, step in result.wake_times.items()},
         "layer_times": list(result.layer_times),
     }
+    # Only faulty runs carry the key, so pristine documents are unchanged.
+    if result.fault_counters is not None:
+        data["fault_counters"] = result.fault_counters.to_dict()
+    return data
 
 
 def result_from_dict(data: dict[str, Any]) -> BroadcastResult:
@@ -104,6 +109,11 @@ def result_from_dict(data: dict[str, Any]) -> BroadcastResult:
         wake_times={int(label): step for label, step in data["wake_times"].items()},
         layer_times=tuple(
             step if step is not None else None for step in data["layer_times"]
+        ),
+        fault_counters=(
+            FaultCounters.from_dict(data["fault_counters"])
+            if "fault_counters" in data
+            else None
         ),
     )
 

@@ -56,6 +56,11 @@ class Trace:
     steps: list[StepRecord] = field(default_factory=list)
     informed_counts: list[int] = field(default_factory=list)
     wake_times: dict[int, int] = field(default_factory=dict)
+    #: Live fault tally (:class:`repro.sim.faults.FaultCounters`) when the
+    #: engine runs under a fault plan; ``None`` on pristine executions.
+    #: Set by the engine — the same object it increments, so it is always
+    #: current, regardless of the trace level.
+    fault_counters: "object | None" = None
 
     def record(
         self,

@@ -12,6 +12,7 @@ from .cache import CODE_VERSION, DEFAULT_CACHE_DIR, ResultCache
 from .registry import ALGORITHMS, TOPOLOGIES, build_algorithm, build_topology
 from .runner import (
     PointResult,
+    SweepExecutionError,
     SweepOutcome,
     engine_run_count,
     execute_point,
@@ -26,6 +27,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "PointResult",
     "ResultCache",
+    "SweepExecutionError",
     "SweepOutcome",
     "SweepPoint",
     "SweepSpec",

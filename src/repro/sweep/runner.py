@@ -1,10 +1,24 @@
-"""Parallel sweep execution with per-point caching.
+"""Parallel sweep execution with per-point caching and crash recovery.
 
 The runner shards the points of a :class:`~repro.sweep.spec.SweepSpec`
 across worker processes.  Cache lookups happen in the parent *before*
 dispatch, so a fully-cached sweep performs zero engine runs and zero
 worker spawns; only misses travel to the pool.  Every executed point's
-payload is written back through :class:`~repro.sweep.cache.ResultCache`.
+payload is written back through :class:`~repro.sweep.cache.ResultCache`
+**as soon as that point completes**, so a sweep that later fails — or a
+parent that is killed outright — never loses the points it already paid
+for.
+
+The pool is a small purpose-built one rather than
+``multiprocessing.Pool``: stock pools cannot survive a worker that is
+SIGKILLed (by the OOM killer, a cluster preemption, or a per-point
+timeout) — the in-flight task is silently lost and ``map`` hangs.  Here
+every worker announces which point it is executing before starting it,
+so the parent can attribute a worker death to a specific point, resubmit
+that point with exponential backoff, and respawn a replacement worker.
+Points that exhaust their retry budget fail the sweep with
+:class:`SweepExecutionError` — but only after every other point got its
+chance, and with all successful payloads already cached.
 
 Each point itself runs all its Monte-Carlo trials as one batched array
 program (:func:`~repro.sim.run.repeat_broadcast` dispatches oblivious
@@ -14,11 +28,17 @@ parallelism is two-level: processes over points, arrays over trials.
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
+import os
+import queue as queue_module
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..analysis import render_table
+from ..sim.errors import ConfigurationError, SimulationError
+from ..sim.faults import FaultPlan
 from ..sim.run import repeat_broadcast
 from .cache import CODE_VERSION, ResultCache
 from .registry import build_algorithm, build_topology
@@ -27,6 +47,7 @@ from .spec import SweepPoint, SweepSpec, canonical_json
 __all__ = [
     "PointResult",
     "SweepOutcome",
+    "SweepExecutionError",
     "execute_point",
     "run_sweep",
     "engine_run_count",
@@ -49,7 +70,24 @@ def reset_engine_run_counter() -> None:
     _ENGINE_RUNS = 0
 
 
+class SweepExecutionError(SimulationError):
+    """One or more sweep points failed after exhausting their retries.
+
+    Raised only after every point has been attempted, with all successful
+    payloads already written to the cache — re-running the sweep retries
+    just the failed points.
+
+    Attributes:
+        failures: point label -> last error description.
+    """
+
+    def __init__(self, message: str, failures: dict[str, str] | None = None):
+        super().__init__(message)
+        self.failures = dict(failures or {})
+
+
 def _point_from_canonical(payload: dict) -> SweepPoint:
+    faults = payload.get("faults")
     return SweepPoint(
         topology=payload["topology"],
         topology_params=tuple(sorted(payload["topology_params"].items())),
@@ -58,6 +96,7 @@ def _point_from_canonical(payload: dict) -> SweepPoint:
         trials=payload["trials"],
         base_seed=payload["base_seed"],
         max_steps=payload["max_steps"],
+        faults=FaultPlan.from_dict(faults) if faults is not None else None,
     )
 
 
@@ -70,7 +109,9 @@ def execute_point(canonical: dict) -> dict:
     Returns:
         JSON-safe payload with per-trial times and summary statistics.
         Deterministic given the point (seeds are derived, never drawn), so
-        cached payloads reproduce byte-identically.
+        cached payloads reproduce byte-identically.  Faulty points
+        additionally carry their plan and the fault tallies summed over
+        trials.
     """
     point = _point_from_canonical(canonical)
     network = build_topology(point.topology, dict(point.topology_params))
@@ -82,9 +123,10 @@ def execute_point(canonical: dict) -> dict:
         base_seed=point.base_seed,
         max_steps=point.max_steps,
         require_completion=False,
+        faults=point.faults,
     )
     times = [r.time for r in results]
-    return {
+    payload = {
         "point": canonical,
         "label": point.label(),
         "algorithm_name": getattr(algorithm, "name", point.algorithm),
@@ -97,6 +139,18 @@ def execute_point(canonical: dict) -> dict:
         "min_time": min(times),
         "max_time": max(times),
     }
+    if point.faults is not None:
+        totals = collections.Counter()
+        for r in results:
+            totals.update(r.fault_counters.to_dict())
+        payload["faults"] = point.faults.to_dict()
+        payload["fault_totals"] = {
+            key: int(totals.get(key, 0))
+            for key in (
+                "crashed_nodes", "jammed_slots", "lost_messages", "delayed_wakes"
+            )
+        }
+    return payload
 
 
 @dataclass(frozen=True)
@@ -150,11 +204,204 @@ class SweepOutcome:
         )
 
 
+# ----------------------------------------------------------------------
+# Crash-safe worker pool
+
+
+def _pool_worker(task_queue, result_queue) -> None:
+    """Worker loop: announce the task, run it, report the outcome.
+
+    The ``start`` message *before* execution is what makes recovery
+    possible: if this process dies mid-point (SIGKILL, OOM, segfault),
+    the parent knows exactly which point was in flight and resubmits it.
+    """
+    pid = os.getpid()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        index, canonical = task
+        result_queue.put(("start", index, pid))
+        try:
+            payload = execute_point(canonical)
+        except Exception as exc:
+            retryable = not isinstance(exc, ConfigurationError)
+            result_queue.put(
+                ("error", index, f"{type(exc).__name__}: {exc}", retryable)
+            )
+        else:
+            result_queue.put(("done", index, payload))
+
+
+def _run_pool(
+    tasks: Sequence[tuple[int, dict]],
+    workers: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    on_done: Callable[[int, dict], None],
+) -> dict[int, str]:
+    """Execute ``(index, canonical)`` tasks on a kill-tolerant pool.
+
+    Calls ``on_done(index, payload)`` in completion order.  Returns
+    ``index -> error`` for every task that exhausted its attempts (empty
+    on full success); never raises for task-level failures.
+    """
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context("spawn")
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+
+    canonicals = dict(tasks)
+    attempts = {index: 0 for index, _ in tasks}
+    remaining = set(canonicals)
+    failed: dict[int, str] = {}
+    delayed: list[tuple[float, int]] = []  # (ready time, index)
+    inflight: dict[int, tuple[int, float | None]] = {}  # pid -> (index, deadline)
+
+    def submit(index: int) -> None:
+        nonlocal last_activity
+        attempts[index] += 1
+        task_queue.put((index, canonicals[index]))
+        last_activity = time.monotonic()
+
+    def handle_failure(index: int, error: str, retryable: bool) -> None:
+        if index not in remaining or index in failed:
+            return  # stale duplicate report for an already-settled point
+        if any(i == index for _, i in delayed):
+            return  # a retry of this point is already scheduled
+        if retryable and attempts[index] < retries + 1:
+            pause = backoff * (2 ** (attempts[index] - 1))
+            delayed.append((time.monotonic() + pause, index))
+        else:
+            remaining.discard(index)
+            failed[index] = error
+
+    def clear_inflight(index: int) -> None:
+        for pid, (running, _) in list(inflight.items()):
+            if running == index:
+                del inflight[pid]
+
+    def spawn() -> "multiprocessing.Process":
+        process = context.Process(
+            target=_pool_worker, args=(task_queue, result_queue), daemon=True
+        )
+        process.start()
+        return process
+
+    processes = [spawn() for _ in range(max(1, min(workers, len(canonicals))))]
+    for index, _ in tasks:
+        submit(index)
+    last_activity = time.monotonic()
+
+    try:
+        while remaining:
+            now = time.monotonic()
+            for ready, index in list(delayed):
+                if ready <= now:
+                    delayed.remove((ready, index))
+                    if index in remaining:
+                        submit(index)
+            if timeout is not None:
+                for pid, (index, deadline) in list(inflight.items()):
+                    if deadline is not None and now > deadline:
+                        # Charge the point once, here, and drop the
+                        # in-flight entry so the death observed below is
+                        # not attributed a second time.
+                        del inflight[pid]
+                        handle_failure(
+                            index, f"timed out after {timeout:g}s", retryable=True
+                        )
+                        for process in processes:
+                            if process.pid == pid:
+                                process.kill()
+            for process in list(processes):
+                if not process.is_alive():
+                    process.join()
+                    processes.remove(process)
+                    info = inflight.pop(process.pid, None)
+                    if info is not None:
+                        handle_failure(
+                            info[0],
+                            "worker process died mid-point "
+                            "(killed, out-of-memory, or crashed)",
+                            retryable=True,
+                        )
+                    if remaining:
+                        processes.append(spawn())
+            # Stall rescue: a worker killed in the instant between taking
+            # a task and announcing it leaves that task unattributable.
+            # If nothing is running, scheduled, or arriving, resubmit
+            # whatever is still open — completed duplicates are ignored.
+            if not inflight and not delayed and now - last_activity > 1.0:
+                for index in sorted(remaining):
+                    submit(index)
+                last_activity = now
+            try:
+                message = result_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                continue
+            last_activity = time.monotonic()
+            kind, index = message[0], message[1]
+            if kind == "start":
+                pid = message[2]
+                deadline = time.monotonic() + timeout if timeout is not None else None
+                inflight[pid] = (index, deadline)
+            elif kind == "done":
+                clear_inflight(index)
+                if index in remaining:
+                    remaining.discard(index)
+                    on_done(index, message[2])
+            else:  # "error"
+                clear_inflight(index)
+                handle_failure(index, message[2], message[3])
+    finally:
+        for process in processes:
+            process.kill()
+        for process in processes:
+            process.join(timeout=5.0)
+        for q in (task_queue, result_queue):
+            q.close()
+            q.cancel_join_thread()
+    return failed
+
+
+def _execute_serial(
+    tasks: Sequence[tuple[int, dict]],
+    retries: int,
+    backoff: float,
+    on_done: Callable[[int, dict], None],
+) -> dict[int, str]:
+    """In-process counterpart of :func:`_run_pool` (no timeout support)."""
+    failed: dict[int, str] = {}
+    for index, canonical in tasks:
+        for attempt in range(retries + 1):
+            try:
+                payload = execute_point(canonical)
+            except ConfigurationError as exc:
+                failed[index] = f"{type(exc).__name__}: {exc}"
+                break
+            except Exception as exc:
+                if attempt == retries:
+                    failed[index] = f"{type(exc).__name__}: {exc}"
+                    break
+                time.sleep(backoff * (2 ** attempt))
+            else:
+                on_done(index, payload)
+                break
+    return failed
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     cache: ResultCache | None = None,
     on_point: Callable[[SweepPoint, dict, bool], None] | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
 ) -> SweepOutcome:
     """Execute a sweep, sharding cache misses across worker processes.
 
@@ -162,16 +409,37 @@ def run_sweep(
         spec: The declarative sweep description.
         workers: Process count for cache-missed points; ``1`` executes
             in-process (no pool spin-up — also what deterministic
-            run-counter tests use).
-        cache: Result cache; ``None`` disables caching entirely.
-        on_point: Progress callback ``(point, payload, cached)`` invoked
-            in completion order.
+            run-counter tests use) unless a ``timeout`` forces a worker,
+            since only a separate process can be killed mid-point.
+        cache: Result cache; ``None`` disables caching entirely.  Each
+            executed payload is written back the moment its point
+            completes, so partial progress survives later failures.
+        on_point: Progress callback ``(point, payload, cached)``, invoked
+            in completion order: cache hits first (grid order), then each
+            executed point as it finishes — *before* later points
+            complete, so callers can stream results.
+        timeout: Per-point wall-clock budget in seconds; a point
+            exceeding it has its worker killed and counts as a retryable
+            failure.  ``None`` disables the limit.
+        retries: How many times a failed point (error, timeout, or worker
+            death) is re-attempted.  Configuration errors are
+            deterministic and never retried.
+        backoff: Base delay in seconds before a retry; doubles with each
+            subsequent attempt of the same point.
 
     Returns:
         A :class:`SweepOutcome` with one :class:`PointResult` per grid
         cell, in grid order.
+
+    Raises:
+        SweepExecutionError: If any point still fails after its retry
+            budget.  All other points finish (and are cached) first.
     """
     global _ENGINE_RUNS
+    if retries < 0:
+        raise ConfigurationError(f"retries must be non-negative, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be positive, got {timeout}")
     points = spec.points()
     payloads: dict[int, dict] = {}
     cached_flags: dict[int, bool] = {}
@@ -181,34 +449,42 @@ def run_sweep(
         if hit is not None:
             payloads[i] = hit
             cached_flags[i] = True
+            if on_point is not None:
+                on_point(point, hit, True)
         else:
             pending.append(i)
 
     if pending:
-        canonicals = [points[i].canonical() for i in pending]
-        if workers > 1 and len(pending) > 1:
-            # fork (where available) avoids re-importing __main__ in the
-            # children, so the pool works from scripts, pytest, and REPLs
-            # alike; platforms without it fall back to spawn.
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:
-                context = multiprocessing.get_context("spawn")
-            with context.Pool(min(workers, len(pending))) as pool:
-                executed = pool.map(execute_point, canonicals, chunksize=1)
-        else:
-            executed = [execute_point(c) for c in canonicals]
-        for i, payload in zip(pending, executed):
-            payloads[i] = payload
-            cached_flags[i] = False
+
+        def on_done(index: int, payload: dict) -> None:
+            global _ENGINE_RUNS
+            payloads[index] = payload
+            cached_flags[index] = False
             _ENGINE_RUNS += payload["runs"]
             if cache is not None:
-                cache.put(points[i], payload)
+                cache.put(points[index], payload)
+            if on_point is not None:
+                on_point(points[index], payload, False)
 
-    results = []
-    for i, point in enumerate(points):
-        result = PointResult(point=point, payload=payloads[i], cached=cached_flags[i])
-        results.append(result)
-        if on_point is not None:
-            on_point(point, result.payload, result.cached)
+        tasks = [(i, points[i].canonical()) for i in pending]
+        use_pool = (workers > 1 and len(pending) > 1) or timeout is not None
+        if use_pool:
+            failed = _run_pool(tasks, workers, timeout, retries, backoff, on_done)
+        else:
+            failed = _execute_serial(tasks, retries, backoff, on_done)
+        if failed:
+            failures = {points[i].label(): error for i, error in failed.items()}
+            detail = "; ".join(
+                f"{label}: {error}" for label, error in sorted(failures.items())
+            )
+            raise SweepExecutionError(
+                f"{len(failed)} sweep point(s) failed after "
+                f"{retries + 1} attempt(s): {detail}",
+                failures=failures,
+            )
+
+    results = [
+        PointResult(point=point, payload=payloads[i], cached=cached_flags[i])
+        for i, point in enumerate(points)
+    ]
     return SweepOutcome(spec=spec, results=results)

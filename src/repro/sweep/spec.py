@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..sim.errors import ConfigurationError
+from ..sim.faults import FaultPlan
 
 __all__ = ["SweepPoint", "SweepSpec", "canonical_json"]
 
@@ -41,6 +42,8 @@ class SweepPoint:
         trials: Monte-Carlo repetitions at this point.
         base_seed: First trial seed (trial ``i`` uses ``base_seed + i``).
         max_steps: Optional step limit override.
+        faults: Optional :class:`~repro.sim.faults.FaultPlan` injected
+            into every trial of the point.
     """
 
     topology: str
@@ -50,10 +53,28 @@ class SweepPoint:
     trials: int
     base_seed: int
     max_steps: int | None
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        # Validated here — not only on SweepSpec — because points are also
+        # constructed directly from cached/canonical dicts; a zero-trial
+        # point would otherwise only fail deep inside execution (as a
+        # ZeroDivisionError computing the mean over no times).
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be positive, got {self.trials}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
 
     def canonical(self) -> dict:
-        """JSON-safe dict uniquely describing the point's computation."""
-        return {
+        """JSON-safe dict uniquely describing the point's computation.
+
+        The ``faults`` key appears only for faulty points, so fault-free
+        points hash exactly as they always have — existing caches stay
+        valid.
+        """
+        data = {
             "topology": self.topology,
             "topology_params": dict(self.topology_params),
             "algorithm": self.algorithm,
@@ -62,6 +83,9 @@ class SweepPoint:
             "base_seed": self.base_seed,
             "max_steps": self.max_steps,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     def content_hash(self, code_version: str) -> str:
         """Cache key: sha256 of canonical JSON + engine code version.
@@ -78,7 +102,8 @@ class SweepPoint:
         params = ", ".join(
             f"{k}={v}" for k, v in (*self.topology_params, *self.algorithm_params)
         )
-        return f"{self.topology}({params}) x {self.algorithm}"
+        suffix = " +faults" if self.faults is not None else ""
+        return f"{self.topology}({params}) x {self.algorithm}{suffix}"
 
 
 def _as_grid(grid: Mapping[str, Any]) -> dict[str, tuple]:
@@ -111,6 +136,8 @@ class SweepSpec:
         trials: Monte-Carlo repetitions per point.
         base_seed: First trial seed at every point.
         max_steps: Optional step limit override for every point.
+        faults: Optional fault plan applied at every point — a
+            :class:`~repro.sim.faults.FaultPlan` or its dict form.
     """
 
     name: str
@@ -121,10 +148,13 @@ class SweepSpec:
     trials: int = 5
     base_seed: int = 0
     max_steps: int | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
             raise ConfigurationError(f"trials must be positive, got {self.trials}")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
 
     def points(self) -> list[SweepPoint]:
         """Expand the grids into concrete sweep points (stable order)."""
@@ -139,13 +169,14 @@ class SweepSpec:
                 trials=self.trials,
                 base_seed=self.base_seed,
                 max_steps=self.max_steps,
+                faults=self.faults,
             )
             for topo_params in _expand(topo_grid)
             for algo_params in _expand(algo_grid)
         ]
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "topology": self.topology,
             "algorithm": self.algorithm,
@@ -155,13 +186,16 @@ class SweepSpec:
             "base_seed": self.base_seed,
             "max_steps": self.max_steps,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
         """Build a spec from a JSON document (the ``repro sweep --spec`` format)."""
         known = {
             "name", "topology", "algorithm", "topology_grid",
-            "algorithm_grid", "trials", "base_seed", "max_steps",
+            "algorithm_grid", "trials", "base_seed", "max_steps", "faults",
         }
         unknown = set(payload) - known
         if unknown:
@@ -178,4 +212,9 @@ class SweepSpec:
             trials=int(payload.get("trials", 5)),
             base_seed=int(payload.get("base_seed", 0)),
             max_steps=payload.get("max_steps"),
+            faults=(
+                FaultPlan.from_dict(payload["faults"])
+                if payload.get("faults") is not None
+                else None
+            ),
         )

@@ -8,9 +8,9 @@ from repro.experiments import all_experiments, get_experiment
 from repro.experiments.base import Claim, ExperimentReport
 
 
-def test_registry_contains_all_ten():
+def test_registry_contains_all_twelve():
     assert list(all_experiments()) == [
-        "e1", "e10", "e11", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"
+        "e1", "e10", "e11", "e12", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"
     ]
 
 

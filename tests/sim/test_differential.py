@@ -20,7 +20,12 @@ from repro.baselines import (
     SelectiveFamilyBroadcast,
 )
 from repro.core import KnownRadiusKP, OptimalRandomizedBroadcasting
-from repro.sim import run_broadcast, run_broadcast_batch, run_broadcast_fast
+from repro.sim import (
+    FaultPlan,
+    run_broadcast,
+    run_broadcast_batch,
+    run_broadcast_fast,
+)
 from repro.topology import km_hard_layered, path, star, uniform_complete_layered
 
 SEEDS = [0, 1, 5]
@@ -69,6 +74,63 @@ def test_three_engines_identical(networks, topo, algo_name):
         assert from_batch.wake_times == reference.wake_times, (topo, algo_name, seed)
         assert fast.time == reference.time == from_batch.time
         assert fast.layer_times == reference.layer_times == from_batch.layer_times
+
+
+def _plan_for(net):
+    """A nontrivial fault plan valid on any of the suite's topologies.
+
+    Touches all four fault families without disconnecting the source:
+    the highest non-source label crashes mid-run, an early label is
+    jammed for the first slots and another gets a wake delay, and every
+    delivery runs a 30% loss gauntlet.
+    """
+    labels = sorted(set(net.nodes) - {net.source})
+    return FaultPlan(
+        crashes=((labels[-1], 9),),
+        jams=tuple((slot, labels[0]) for slot in range(6)),
+        loss_probability=0.3,
+        wake_delays=((labels[1], 7),),
+        seed=23,
+    )
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+def test_three_engines_identical_under_faults(networks, topo, algo_name):
+    """Every engine cell again, now under a nontrivial fault plan.
+
+    Faulty runs may legitimately settle incomplete (the crash can strand
+    nodes), so the assertion is execution identity — per-node wake slots,
+    executed-slot counts, and fault counters — not completion.
+    """
+    net = networks[topo]
+    make = ALGORITHMS[algo_name]
+    plan = _plan_for(net)
+    budget = 120
+
+    batched = run_broadcast_batch(
+        net, make(net), seeds=SEEDS, max_steps=budget, faults=plan
+    )
+    for seed, from_batch in zip(SEEDS, batched):
+        reference = run_broadcast(
+            net, make(net), seed=seed, max_steps=budget, faults=plan
+        )
+        fast = run_broadcast_fast(
+            net, make(net), seed=seed, max_steps=budget, faults=plan
+        )
+
+        key = (topo, algo_name, seed)
+        assert fast.wake_times == reference.wake_times, key
+        assert from_batch.wake_times == reference.wake_times, key
+        assert fast.completed == reference.completed == from_batch.completed, key
+        assert fast.informed == reference.informed == from_batch.informed, key
+        assert fast.time == reference.time == from_batch.time, key
+        assert (
+            fast.fault_counters
+            == reference.fault_counters
+            == from_batch.fault_counters
+        ), key
+        assert reference.fault_counters is not None, key
 
 
 @pytest.mark.parametrize("algo_name", ["kp-known-d", "bgi"])

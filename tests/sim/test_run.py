@@ -89,3 +89,43 @@ def test_same_seed_reproducible():
     b = run_broadcast(net, algo, seed=3)
     assert a.time == b.time
     assert a.wake_times == b.wake_times
+
+
+class _HintlessRoundRobin:
+    """Duck-typed algorithm: the protocol surface, minus ``max_steps_hint``.
+
+    Regression fixture — ``run_broadcast`` used to call
+    ``algorithm.max_steps_hint`` unconditionally and crashed with
+    AttributeError on objects like this one.
+    """
+
+    name = "hintless-round-robin"
+
+    def __init__(self, r: int):
+        self._inner = RoundRobinBroadcast(r)
+
+    def create(self, label, r, rng):
+        return self._inner.create(label, r, rng)
+
+
+def test_default_max_steps_prefers_the_algorithm_hint():
+    from repro.sim import default_max_steps
+
+    net = path(6)
+    algo = RoundRobinBroadcast(net.r)
+    assert default_max_steps(net, algo) == algo.max_steps_hint(net.n, net.r)
+
+
+def test_default_max_steps_fallback_is_pinned():
+    from repro.sim import default_max_steps
+
+    net = path(6)
+    expected = 64 * net.n * (net.n.bit_length() + 1)
+    assert default_max_steps(net, _HintlessRoundRobin(net.r)) == expected
+
+
+def test_run_broadcast_accepts_hintless_algorithms():
+    net = path(6)
+    result = run_broadcast(net, _HintlessRoundRobin(net.r))
+    assert result.completed
+    assert result.algorithm == "hintless-round-robin"

@@ -175,3 +175,255 @@ class TestRunnerAndCache:
         spec = SweepSpec(**SMALL_SPEC)
         run_sweep(spec, cache=None)
         assert engine_run_count() == len(spec.points()) * spec.trials
+
+
+class TestPointValidation:
+    """trials >= 1 is enforced at parse time, on every construction path.
+
+    Regression: a zero-trial point used to survive until deep inside
+    ``execute_point``, where the summary statistics divided by an empty
+    trial list (ZeroDivisionError) instead of reporting the bad config.
+    """
+
+    def test_spec_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(**{**SMALL_SPEC, "trials": 0})
+
+    def test_from_dict_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({**SMALL_SPEC, "trials": 0})
+
+    def test_point_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(
+                topology="path", topology_params=(("n", 5),),
+                algorithm="round-robin", algorithm_params=(),
+                trials=0, base_seed=0, max_steps=None,
+            )
+
+    def test_execute_point_rejects_zero_trials_cleanly(self):
+        canonical = SweepSpec(**SMALL_SPEC).points()[0].canonical()
+        canonical["trials"] = 0
+        with pytest.raises(ConfigurationError):
+            execute_point(canonical)
+
+
+class TestFaultyPoints:
+    PLAN = {"crashes": [[2, 1]], "loss_probability": 0.2, "seed": 9}
+
+    def test_spec_faults_reach_every_point(self):
+        from repro.sim import FaultPlan
+
+        spec = SweepSpec(**SMALL_SPEC, faults=self.PLAN)
+        for point in spec.points():
+            assert point.faults == FaultPlan.from_dict(self.PLAN)
+            assert point.label().endswith("+faults")
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.points() == spec.points()
+
+    def test_faultless_hash_is_unchanged_by_the_fault_field(self):
+        # Fault-free points must hash exactly as before the field existed,
+        # keeping existing on-disk caches valid.
+        point = SweepSpec(**SMALL_SPEC).points()[0]
+        assert "faults" not in point.canonical()
+        faulty = SweepSpec(**SMALL_SPEC, faults=self.PLAN).points()[0]
+        assert faulty.content_hash("v1") != point.content_hash("v1")
+
+    def test_execute_point_reports_fault_totals(self):
+        spec = SweepSpec(**SMALL_SPEC, faults=self.PLAN)
+        payload = execute_point(spec.points()[0].canonical())
+        assert payload["faults"] == spec.points()[0].faults.to_dict()
+        totals = payload["fault_totals"]
+        assert set(totals) == {
+            "crashed_nodes", "jammed_slots", "lost_messages", "delayed_wakes"
+        }
+        assert totals["crashed_nodes"] >= 1
+
+    def test_faulty_sweep_round_trips_cache(self, tmp_path):
+        spec = SweepSpec(**SMALL_SPEC, faults=self.PLAN)
+        cache = ResultCache(tmp_path)
+        first = run_sweep(spec, cache=cache)
+        reset_engine_run_counter()
+        second = run_sweep(spec, cache=cache)
+        assert second.from_cache == len(spec.points())
+        assert engine_run_count() == 0
+        assert second.to_json() == first.to_json()
+
+
+class TestStreaming:
+    def test_on_point_fires_in_completion_order(self, tmp_path, monkeypatch):
+        """Each executed point's callback fires before later points run."""
+        import repro.sweep.runner as runner
+
+        events = []
+        real = runner.execute_point
+
+        def tracked(canonical):
+            events.append(("exec", canonical["topology_params"]["n"]))
+            return real(canonical)
+
+        monkeypatch.setattr(runner, "execute_point", tracked)
+        spec = SweepSpec(**SMALL_SPEC)
+        run_sweep(
+            spec,
+            cache=None,
+            on_point=lambda p, payload, cached: events.append(
+                ("done", dict(p.topology_params)["n"])
+            ),
+        )
+        assert events == [("exec", 12), ("done", 12), ("exec", 18), ("done", 18)]
+
+    def test_cache_hits_stream_before_executions(self, tmp_path, monkeypatch):
+        import repro.sweep.runner as runner
+
+        spec = SweepSpec(**SMALL_SPEC)
+        cache = ResultCache(tmp_path)
+        # Warm only the second point.
+        warm = SweepSpec(**{**SMALL_SPEC, "topology_grid": {"n": [18], "depth": 3}})
+        run_sweep(warm, cache=cache)
+
+        events = []
+        real = runner.execute_point
+
+        def tracked(canonical):
+            events.append(("exec", canonical["topology_params"]["n"]))
+            return real(canonical)
+
+        monkeypatch.setattr(runner, "execute_point", tracked)
+        run_sweep(
+            spec, cache=cache,
+            on_point=lambda p, payload, cached: events.append(
+                ("done", dict(p.topology_params)["n"], cached)
+            ),
+        )
+        assert events == [("done", 18, True), ("exec", 12), ("done", 12, False)]
+
+    def test_per_completion_cache_write_back(self, tmp_path, monkeypatch):
+        """The cache entry for a point exists the moment its callback runs."""
+        cache = ResultCache(tmp_path)
+        spec = SweepSpec(**SMALL_SPEC)
+        points = spec.points()
+        seen = []
+
+        def probe(point, payload, cached):
+            seen.append(cache.get(point) is not None)
+
+        run_sweep(spec, cache=cache, on_point=probe)
+        assert seen == [True, True]
+        assert len(seen) == len(points)
+
+
+class TestCrashSafety:
+    def _spec(self):
+        return SweepSpec(**SMALL_SPEC)
+
+    def test_sigkilled_worker_is_retried_to_completion(self, tmp_path, monkeypatch):
+        import os
+        import signal
+
+        import repro.sweep.runner as runner
+
+        real = runner.execute_point
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+
+        def kill_once(canonical):
+            n = canonical["topology_params"]["n"]
+            marker = marker_dir / f"seen-{n}"
+            if n == 12 and not marker.exists():
+                marker.write_text("x")
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(canonical)
+
+        monkeypatch.setattr(runner, "execute_point", kill_once)
+        cache = ResultCache(tmp_path / "cache")
+        outcome = run_sweep(self._spec(), workers=2, cache=cache, retries=2)
+        assert len(outcome.results) == 2
+        assert not any(r.cached for r in outcome.results)
+        # Zero lost cache entries despite the mid-run kill.
+        assert all(cache.get(p) is not None for p in self._spec().points())
+
+    def test_hung_point_is_killed_and_retried(self, tmp_path, monkeypatch):
+        import time as time_module
+
+        import repro.sweep.runner as runner
+
+        real = runner.execute_point
+        marker = tmp_path / "hung-once"
+
+        def hang_once(canonical):
+            if canonical["topology_params"]["n"] == 12 and not marker.exists():
+                marker.write_text("x")
+                time_module.sleep(60)
+            return real(canonical)
+
+        monkeypatch.setattr(runner, "execute_point", hang_once)
+        outcome = run_sweep(self._spec(), workers=2, timeout=2, retries=1)
+        assert len(outcome.results) == 2
+
+    def test_exhausted_retries_raise_with_survivors_cached(self, tmp_path, monkeypatch):
+        from repro.sweep import SweepExecutionError
+        import repro.sweep.runner as runner
+
+        real = runner.execute_point
+
+        def fail_one(canonical):
+            if canonical["topology_params"]["n"] == 12:
+                raise RuntimeError("synthetic failure")
+            return real(canonical)
+
+        monkeypatch.setattr(runner, "execute_point", fail_one)
+        cache = ResultCache(tmp_path)
+        spec = self._spec()
+        with pytest.raises(SweepExecutionError) as err:
+            run_sweep(spec, workers=2, timeout=60, cache=cache, retries=1)
+        assert len(err.value.failures) == 1
+        assert "synthetic failure" in next(iter(err.value.failures.values()))
+        # The healthy sibling finished and was cached before the raise.
+        healthy = [p for p in spec.points()
+                   if dict(p.topology_params)["n"] == 18]
+        assert cache.get(healthy[0]) is not None
+
+    def test_configuration_errors_are_not_retried(self, tmp_path, monkeypatch):
+        from repro.sweep import SweepExecutionError
+        import repro.sweep.runner as runner
+
+        attempts_dir = tmp_path / "attempts"
+        attempts_dir.mkdir()
+
+        def always_misconfigured(canonical):
+            count = len(list(attempts_dir.iterdir()))
+            (attempts_dir / str(count)).write_text("x")
+            raise ConfigurationError("deterministically wrong")
+
+        monkeypatch.setattr(runner, "execute_point", always_misconfigured)
+        spec = SweepSpec(**{**SMALL_SPEC,
+                            "topology_grid": {"n": [12], "depth": 3}})
+        with pytest.raises(SweepExecutionError):
+            run_sweep(spec, workers=2, timeout=60, retries=5)
+        # One attempt, not six: configuration errors never retry.
+        assert len(list(attempts_dir.iterdir())) == 1
+
+    def test_serial_path_retries_flaky_failures(self, tmp_path, monkeypatch):
+        import repro.sweep.runner as runner
+
+        real = runner.execute_point
+        marker = tmp_path / "flaked"
+
+        def flaky(canonical):
+            if not marker.exists():
+                marker.write_text("x")
+                raise RuntimeError("transient")
+            return real(canonical)
+
+        monkeypatch.setattr(runner, "execute_point", flaky)
+        spec = SweepSpec(**{**SMALL_SPEC,
+                            "topology_grid": {"n": [12], "depth": 3}})
+        outcome = run_sweep(spec, workers=1, retries=1, backoff=0.01)
+        assert len(outcome.results) == 1
+
+    def test_invalid_runner_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(self._spec(), retries=-1)
+        with pytest.raises(ConfigurationError):
+            run_sweep(self._spec(), timeout=0)

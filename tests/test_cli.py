@@ -147,3 +147,57 @@ def test_experiment_json_output(capsys):
     assert document["experiment"] == "e10"
     assert document["ok"] is True
     assert document["claims"]
+
+
+def test_run_with_faults(tmp_path, capsys):
+    import json
+
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(json.dumps({"loss_probability": 1.0, "seed": 3}))
+    # Certain loss strands every non-source node -> incomplete -> exit 1.
+    code = main(["run", "--topology", "path", "--n", "5", "--algorithm",
+                 "round-robin", "--faults", str(plan_file)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "completed: False" in out
+    assert "faults:" in out and "lost" in out
+
+
+def test_run_rejects_bad_fault_plan(tmp_path):
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text('{"loss_probability": 7}')
+    with pytest.raises(SystemExit):
+        main(["run", "--topology", "path", "--n", "5", "--algorithm",
+              "round-robin", "--faults", str(plan_file)])
+    with pytest.raises(SystemExit):
+        main(["run", "--topology", "path", "--n", "5", "--algorithm",
+              "round-robin", "--faults", str(tmp_path / "missing.json")])
+
+
+def test_sweep_with_faults_and_timeout(tmp_path, capsys):
+    import json
+
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(json.dumps({"crashes": [[3, 0]], "seed": 1}))
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({
+        "name": "cli-faulty",
+        "topology": "path",
+        "algorithm": "round-robin",
+        "topology_grid": {"n": [6]},
+        "trials": 2,
+    }))
+    code = main([
+        "sweep", "--spec", str(spec_file), "--no-cache", "--json",
+        "--faults", str(plan_file), "--timeout", "60", "--retries", "1",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    document = json.loads(out)
+    (point,) = document["points"]
+    assert point["faults"]["crashes"] == [[3, 0]]
+    assert point["faults"]["seed"] == 1
+    # Deterministic algorithm + loss-free plan collapses to one run,
+    # which counts the crash exactly once.
+    assert point["fault_totals"]["crashed_nodes"] == point["runs"] == 1
+    assert point["completed"] == 0  # the crash partitions the path
