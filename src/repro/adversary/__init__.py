@@ -4,13 +4,13 @@ from .construction import (
     AdversaryError,
     AdversaryResult,
     LowerBoundConstruction,
-    build_strongest,
     StageRecord,
     VerificationReport,
     adversary_parameters,
+    build_strongest,
     verify_construction,
 )
-from .jamming import COLLISION, SILENCE, JamAnswer, JammingState
+from .jamming import COLLISION, JamAnswer, JammingState, SILENCE
 from .oblivious import (
     ObliviousAdversaryResult,
     ObliviousLayerAdversary,

@@ -44,7 +44,7 @@ from ..sim.errors import ConfigurationError, SimulationError
 from ..sim.messages import Message
 from ..sim.network import RadioNetwork
 from ..sim.protocol import BroadcastAlgorithm
-from .jamming import SILENCE, JammingState
+from .jamming import JammingState, SILENCE
 from .oracle import AbstractHistoryOracle
 
 __all__ = [

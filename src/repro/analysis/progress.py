@@ -17,6 +17,7 @@ from ..sim.trace import Trace, TraceLevel
 
 __all__ = [
     "progress_curve",
+    "initially_informed",
     "milestones",
     "front_speed",
     "Milestones",
@@ -26,12 +27,25 @@ __all__ = [
 ]
 
 
+def initially_informed(result: BroadcastResult) -> int:
+    """Nodes informed before any slot ran (wake time ``< 0``) — the source.
+
+    Coverage analytics need this separately from :func:`progress_curve`:
+    a zero-slot run (single-node network) has an *empty* curve, yet its
+    source already constitutes full coverage.
+    """
+    return sum(1 for wake in result.wake_times.values() if wake < 0)
+
+
 def progress_curve(result: BroadcastResult) -> list[int]:
     """Informed-node count after each slot.
 
     ``curve[t]`` is how many nodes held the source message after slot
     ``t`` completed; the list spans slots ``0 .. result.time - 1`` and is
-    non-decreasing by construction.
+    non-decreasing by construction.  A completed zero-slot run (the
+    degenerate single-node network, ``result.time == 0``) yields the
+    empty curve — its coverage lives entirely in
+    :func:`initially_informed`.
     """
     length = max(0, result.time)
     curve = [0] * length
@@ -60,12 +74,19 @@ class Milestones:
 
 
 def milestones(result: BroadcastResult) -> Milestones:
-    """Slots to 50% / 90% / 100% coverage."""
+    """Slots to 50% / 90% / 100% coverage.
+
+    A milestone already met before slot 0 — the source alone reaching the
+    threshold, as in the single-node network — costs zero slots.
+    """
     curve = progress_curve(result)
     total = result.n
+    initial = initially_informed(result)
 
     def first_reaching(fraction: float) -> int | None:
         threshold = fraction * total
+        if initial >= threshold:
+            return 0
         for slot, count in enumerate(curve):
             if count >= threshold:
                 return slot + 1

@@ -18,9 +18,9 @@ from __future__ import annotations
 import random
 from typing import Any
 
+from ..core.echo import EchoReply
 from ..sim.messages import Message
 from ..sim.protocol import BroadcastAlgorithm, Protocol
-from ..core.echo import EchoReply
 
 __all__ = ["InterleavedBroadcast"]
 

@@ -13,18 +13,23 @@ Subcommands:
 * ``sweep`` — expand a declarative sweep spec (topology grid × algorithm
   × trials), run the points on the batched engine across worker
   processes, and cache per-point results on disk.
+* ``report`` — render a JSONL run log (``--log-jsonl``) back into
+  lifecycle, timing, and metric tables (see ``docs/OBSERVABILITY.md``).
 * ``universal`` — build and check a universal sequence (Lemma 1).
 
 Examples::
 
     repro run --topology geometric --n 200 --algorithm kp
     repro run --topology gnp --n 64 --algorithm bgi --faults plan.json
+    repro run --topology gnp --n 64 --algorithm kp --metrics --log-jsonl run.jsonl
     repro compare --topology km-layered --n 1024 --depth 64 --runs 10
     repro adversary --algorithm round-robin --n 512 --depth 16
     repro experiment e6 --quick
     repro sweep --quick --workers 4
     repro sweep --spec my_sweep.json --json
     repro sweep --spec my_sweep.json --faults plan.json --timeout 120 --retries 2
+    repro sweep --quick --metrics --log-jsonl sweep.jsonl
+    repro report sweep.jsonl
     repro universal --r 65536 --d 16384
 """
 
@@ -34,6 +39,7 @@ import argparse
 import sys
 from typing import Callable
 
+from . import topology
 from .adversary import LowerBoundConstruction, verify_construction
 from .analysis import render_table, summarize
 from .baselines import (
@@ -52,7 +58,6 @@ from .core import (
     SelectAndSend,
 )
 from .sim import RadioNetwork, TraceLevel, repeat_broadcast, run_broadcast
-from . import topology
 
 __all__ = ["main"]
 
@@ -142,12 +147,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     faults = _load_fault_plan(args.faults) if args.faults else None
     from .sim.errors import ConfigurationError
 
+    metrics = None
+    runlog = None
+    if args.metrics or args.log_jsonl:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.log_jsonl:
+        from .obs import RunLogger
+
+        runlog = RunLogger(args.log_jsonl)
+        runlog.event(
+            "run_started",
+            algorithm=args.algorithm,
+            topology=args.topology,
+            seed=args.seed,
+            n=net.n,
+        )
     try:
         result = run_broadcast(
-            net, algorithm, seed=args.seed, trace_level=level, faults=faults
+            net, algorithm, seed=args.seed, trace_level=level, faults=faults,
+            metrics=metrics,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"run failed: {exc}")
+    if runlog is not None:
+        runlog.event(
+            "run_completed",
+            algorithm=result.algorithm,
+            engine="reference",
+            seed=result.seed,
+            n=result.n,
+            time=result.time,
+            completed=result.completed,
+            timings=(result.timings.to_dict() if result.timings else None),
+            metrics=metrics.to_dict(),
+        )
+        runlog.close()
     print(net.describe())
     print(f"algorithm: {result.algorithm}")
     print(f"completed: {result.completed}  time: {result.time} slots  "
@@ -158,6 +194,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"lost {fc.lost_messages}  delayed {fc.delayed_wakes}")
     if args.trace:
         print(result.trace.format_timeline(max_steps=args.trace_steps))
+    if args.metrics:
+        from .obs.report import render_metrics, render_timings
+
+        if result.timings is not None:
+            print(render_timings(result.timings))
+        print(render_metrics(metrics))
+    if runlog is not None:
+        print(f"run log written to {runlog.path}")
     if args.save_network:
         save_network(net, args.save_network)
         print(f"network saved to {args.save_network}")
@@ -288,6 +332,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    runlog = None
+    if args.log_jsonl:
+        from .obs import RunLogger
+
+        runlog = RunLogger(args.log_jsonl)
     try:
         outcome = run_sweep(
             spec,
@@ -295,12 +344,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache=cache,
             timeout=args.timeout,
             retries=args.retries,
+            instrument=args.metrics,
+            runlog=runlog,
         )
     except SimulationError as exc:
         # Covers bad configurations and SweepExecutionError — points that
         # kept failing after their retry budget (their successful
         # siblings are already cached).
         raise SystemExit(f"sweep failed: {exc}")
+    finally:
+        if runlog is not None:
+            runlog.close()
     if args.json:
         print(outcome.to_json())
     else:
@@ -309,6 +363,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(outcome.render_table())
         if cache is not None:
             print(f"cache: {cache.root}")
+    if args.metrics:
+        from .obs import MetricsRegistry, Timings
+        from .obs.report import render_metrics, render_timings
+
+        timings = Timings()
+        metrics = MetricsRegistry()
+        for result in outcome.results:
+            if result.payload.get("timings"):
+                timings.merge(result.payload["timings"])
+            if result.payload.get("metrics"):
+                metrics.merge(MetricsRegistry.from_dict(result.payload["metrics"]))
+        if timings:
+            print(render_timings(timings, title="stage timings (executed points)"))
+        if metrics.counters or metrics.histograms:
+            print(render_metrics(metrics, title="metrics (executed points)"))
+    if runlog is not None:
+        print(f"run log written to {runlog.path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import report_from_file
+    from .obs.runlog import RunlogError
+
+    try:
+        print(report_from_file(args.runlog))
+    except OSError as exc:
+        raise SystemExit(f"cannot read run log: {exc}")
+    except RunlogError as exc:
+        raise SystemExit(f"bad run log: {exc}")
     return 0
 
 
@@ -345,6 +429,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="save the result to JSON after the run")
     p_run.add_argument("--faults", metavar="FILE",
                        help="fault plan JSON (crashes, jams, loss, wake delays)")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="record and print engine metrics and stage timings")
+    p_run.add_argument("--log-jsonl", metavar="FILE",
+                       help="append lifecycle events to a JSONL run log")
     p_run.set_defaults(func=_cmd_run)
 
     p_gossip = sub.add_parser(
@@ -401,7 +489,19 @@ def main(argv: list[str] | None = None) -> int:
                          help="per-point wall-clock budget in seconds")
     p_sweep.add_argument("--retries", type=int, default=0,
                          help="re-attempts per failed/timed-out/killed point")
+    p_sweep.add_argument("--metrics", action="store_true",
+                         help="instrument executed points (timings + metrics "
+                              "in payloads; cache entries stay clean)")
+    p_sweep.add_argument("--log-jsonl", metavar="FILE",
+                         help="append per-point lifecycle events to a JSONL "
+                              "run log")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report", help="render a JSONL run log as summary tables"
+    )
+    p_report.add_argument("runlog", help="run log written by --log-jsonl")
+    p_report.set_defaults(func=_cmd_report)
 
     p_uni = sub.add_parser("universal", help="build a Lemma 1 universal sequence")
     p_uni.add_argument("--r", type=int, required=True)

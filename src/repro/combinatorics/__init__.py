@@ -10,8 +10,8 @@ from .selective import (
     strongly_selective_family,
 )
 from .universal import (
-    UniversalityReport,
     UniversalSequence,
+    UniversalityReport,
     build_universal_sequence,
     check_universality,
     universal_ranges,

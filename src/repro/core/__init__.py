@@ -3,7 +3,6 @@ Echo/Binary-Selection (Section 4.1), Select-and-Send (Section 4.2) and
 Complete-Layered (Section 4.3)."""
 
 from .complete_layered import CompleteLayeredBroadcast
-from .gossip import GossipResult, TokenGossip, run_gossip
 from .echo import (
     EchoOutcome,
     Probe,
@@ -12,6 +11,7 @@ from .echo import (
     classify_echo,
     simulate_selection,
 )
+from .gossip import GossipResult, TokenGossip, run_gossip
 from .randomized import (
     KnownRadiusKP,
     OptimalRandomizedBroadcasting,

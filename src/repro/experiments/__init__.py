@@ -5,7 +5,7 @@ registry powers both the benchmark suite (``benchmarks/``, which asserts
 ``report.ok``) and the CLI (``repro experiment e1 [--quick]``).
 """
 
-from . import (  # noqa: F401  (import for registration side effects)
+from . import (  # noqa: F401, I001  (registration side effects; natural order)
     e1_randomized_vs_bgi,
     e2_scaling_fit,
     e3_lower_bound,

@@ -1,0 +1,60 @@
+"""Observability: metrics, stage timings, and structured run logs.
+
+The subsystem is opt-in end to end — engines, drivers, and the sweep
+runner accept ``metrics=`` / ``timings=`` / ``runlog=`` handles that
+default to ``None``, and with them absent no instrumentation code runs.
+Three building blocks:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms in a :class:`~repro.obs.metrics.MetricsRegistry`;
+* :mod:`repro.obs.timings` — ``perf_counter`` stage accumulation
+  (:class:`~repro.obs.timings.Timings`), attached to
+  :class:`~repro.sim.run.BroadcastResult` and sweep payloads;
+* :mod:`repro.obs.runlog` — JSONL lifecycle event logs
+  (:class:`~repro.obs.runlog.RunLogger`) plus the schema validator
+  CI runs against them.
+
+``repro report <runlog>`` (see :mod:`repro.obs.report`) renders logs
+back into tables; metric names and the event schema are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SLOT_BUCKETS,
+)
+from .runlog import (
+    DEFAULT_RUNLOG_DIR,
+    RunLogger,
+    RunlogError,
+    assert_valid_runlog,
+    default_runlog_path,
+    git_sha,
+    new_run_id,
+    read_runlog,
+    validate_runlog,
+)
+from .timings import Timings
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "DEFAULT_RUNLOG_DIR",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunLogger",
+    "RunlogError",
+    "SLOT_BUCKETS",
+    "Timings",
+    "assert_valid_runlog",
+    "default_runlog_path",
+    "git_sha",
+    "new_run_id",
+    "read_runlog",
+    "validate_runlog",
+]

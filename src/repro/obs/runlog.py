@@ -1,0 +1,241 @@
+"""Structured JSONL run logs.
+
+Every instrumented run or sweep appends one JSON object per lifecycle
+transition to a ``.jsonl`` file under ``benchmarks/results/runlogs/``
+(or a caller-chosen path).  Events share a fixed envelope —
+
+``{"ts": <epoch seconds>, "event": <kind>, "run_id": <hex>,
+"git_sha": <short sha or "unknown">, ...}``
+
+— plus event-specific fields (``seed``, ``engine``, ``index``,
+``label``, ``timings``, ``metrics``, ...).  The full event vocabulary
+and schema live in ``docs/OBSERVABILITY.md``.
+
+Only the *parent* process writes: sweep workers report through the
+result queue and the pool loop logs on their behalf, so lines never
+interleave.  Writes are line-buffered and flushed per event — a killed
+sweep leaves a valid (truncated) log, mirroring the crash-safe cache.
+
+:func:`validate_runlog` is the schema checker used by tests and CI: it
+asserts that every line parses, that timestamps are monotone
+non-decreasing, and that no worker lifecycle event is orphaned (every
+``point_*`` event follows a ``point_spawned`` for the same index, and
+every spawned point reaches a terminal ``point_completed`` /
+``point_failed``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+import uuid
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_RUNLOG_DIR",
+    "RunLogger",
+    "RunlogError",
+    "assert_valid_runlog",
+    "default_runlog_path",
+    "git_sha",
+    "new_run_id",
+    "read_runlog",
+    "validate_runlog",
+]
+
+#: Default directory for machine-written run logs.
+DEFAULT_RUNLOG_DIR = pathlib.Path("benchmarks") / "results" / "runlogs"
+
+#: Point-lifecycle events that require a preceding ``point_spawned``.
+_NEEDS_SPAWN = frozenset(
+    {"point_completed", "point_failed", "point_timed_out", "point_killed",
+     "point_retried"}
+)
+
+#: Terminal outcomes a spawned point must eventually reach.
+_TERMINAL = frozenset({"point_completed", "point_failed"})
+
+_GIT_SHA: str | None = None
+
+
+class RunlogError(ValueError):
+    """A run log failed to parse or violated the event schema."""
+
+
+def git_sha() -> str:
+    """Short git SHA of the working tree, or ``"unknown"`` outside a repo.
+
+    Resolved once per process — run logs are written from one checkout.
+    """
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=5.0, check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def new_run_id() -> str:
+    """Fresh 12-hex-digit id tying one invocation's events together."""
+    return uuid.uuid4().hex[:12]
+
+
+def default_runlog_path(name: str, directory: pathlib.Path | None = None) -> pathlib.Path:
+    """Timestamped log path under :data:`DEFAULT_RUNLOG_DIR`."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    root = pathlib.Path(directory) if directory is not None else DEFAULT_RUNLOG_DIR
+    return root / f"{name}-{stamp}-{new_run_id()[:4]}.jsonl"
+
+
+class RunLogger:
+    """Append-only JSONL event writer.
+
+    Args:
+        path: Log file (parent directories are created).  Opened in
+            append mode so several invocations may share one file; their
+            events stay distinguishable by ``run_id``.
+        run_id: Override the generated invocation id (tests pin it).
+        clock: Timestamp source, ``time.time`` by default.  Timestamps
+            are clamped to be monotone non-decreasing within the logger
+            even if the wall clock steps backwards.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path | str,
+        run_id: str | None = None,
+        clock=time.time,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id or new_run_id()
+        self._clock = clock
+        self._sha = git_sha()
+        self._last_ts = float("-inf")
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def event(self, kind: str, **fields) -> dict:
+        """Write one event; returns the record that was written."""
+        ts = max(float(self._clock()), self._last_ts)
+        self._last_ts = ts
+        record = {"ts": ts, "event": kind, "run_id": self.run_id,
+                  "git_sha": self._sha, **fields}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_runlog(path: pathlib.Path | str) -> list[dict]:
+    """Parse a JSONL run log into event dicts.
+
+    Raises:
+        RunlogError: On an unparseable or non-object line (with its line
+            number).
+    """
+    events: list[dict] = []
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RunlogError(f"{path}:{number}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise RunlogError(f"{path}:{number}: event is not a JSON object")
+            events.append(record)
+    return events
+
+
+def validate_runlog(events: Sequence[Mapping]) -> list[str]:
+    """Schema-check parsed events; returns a list of violations (empty = valid).
+
+    Checks, per ``run_id``:
+
+    * envelope: every event carries ``ts``/``event``/``run_id``/``git_sha``;
+    * timestamps are monotone non-decreasing in file order;
+    * worker lifecycle: ``point_completed`` / ``point_failed`` /
+      ``point_timed_out`` / ``point_killed`` / ``point_retried`` must
+      follow a ``point_spawned`` for the same point index (cache hits
+      are exempt — they are never spawned), and every spawned index must
+      reach a terminal ``point_completed`` or ``point_failed``.
+    """
+    errors: list[str] = []
+    last_ts: dict[str, float] = {}
+    spawned: dict[tuple[str, object], bool] = {}  # (run, index) -> reached terminal
+
+    for position, event in enumerate(events):
+        where = f"event #{position}"
+        missing = [key for key in ("ts", "event", "run_id", "git_sha")
+                   if key not in event]
+        if missing:
+            errors.append(f"{where}: missing envelope fields {missing}")
+            continue
+        run = event["run_id"]
+        kind = event["event"]
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: non-numeric ts {ts!r}")
+            continue
+        previous = last_ts.get(run)
+        if previous is not None and ts < previous:
+            errors.append(
+                f"{where}: timestamp went backwards for run {run} "
+                f"({ts} < {previous})"
+            )
+        last_ts[run] = ts
+
+        if kind == "point_spawned":
+            if "index" not in event:
+                errors.append(f"{where}: point_spawned without an index")
+            else:
+                spawned.setdefault((run, event["index"]), False)
+        elif kind in _NEEDS_SPAWN:
+            key = (run, event.get("index"))
+            if key not in spawned:
+                errors.append(
+                    f"{where}: orphan {kind} for point {event.get('index')!r} "
+                    f"(no prior point_spawned)"
+                )
+            elif kind in _TERMINAL:
+                spawned[key] = True
+
+    for (run, index), terminal in sorted(spawned.items(), key=lambda kv: str(kv[0])):
+        if not terminal:
+            errors.append(
+                f"point {index!r} of run {run} was spawned but never reached "
+                f"point_completed/point_failed"
+            )
+    return errors
+
+
+def assert_valid_runlog(path: pathlib.Path | str) -> list[dict]:
+    """Parse *and* validate a run log; raises :class:`RunlogError` if bad."""
+    events = read_runlog(path)
+    errors = validate_runlog(events)
+    if errors:
+        raise RunlogError(
+            f"{path}: {len(errors)} schema violation(s):\n" + "\n".join(errors)
+        )
+    return events
+
+
+def merge_event_field(events: Iterable[Mapping], field: str) -> list[Mapping]:
+    """All non-null values of ``field`` across events (helper for reports)."""
+    return [event[field] for event in events if event.get(field) is not None]

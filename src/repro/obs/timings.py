@@ -1,0 +1,106 @@
+"""Wall-clock stage timers (``time.perf_counter`` based).
+
+A :class:`Timings` object accumulates ``(seconds, count)`` per named
+stage.  Engines and the sweep pool hold an *optional* reference to one:
+when it is ``None`` — the default everywhere — no timer code runs at
+all, so the uninstrumented hot paths pay nothing beyond a single
+``is not None`` check per stage.
+
+Stage names are dotted and hierarchical by convention (documented in
+``docs/OBSERVABILITY.md``): ``engine.coins`` ⊂ ``engine.step``,
+``pool.execute`` covers a worker's whole point, and so on.  Overlapping
+stages are intentional — a stage's seconds answer "where did the wall
+time go?", not "do the rows sum to the total?".
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+__all__ = ["Timings"]
+
+
+class Timings:
+    """Accumulated stage timings of one run, batch, sweep point, or pool.
+
+    The mutable accumulator is deliberately tiny: hot loops call
+    :meth:`add` with an explicit ``perf_counter`` delta (no context
+    manager overhead); coarse stages use :meth:`time`.
+    """
+
+    __slots__ = ("stages",)
+
+    def __init__(self) -> None:
+        #: stage name -> ``[seconds, count]`` (a list so the hot-path
+        #: increment is two C-level item assignments, no allocation).
+        self.stages: dict[str, list] = {}
+
+    def add(self, stage: str, seconds: float, count: int = 1) -> None:
+        """Accumulate ``seconds`` (and ``count`` events) under ``stage``."""
+        entry = self.stages.get(stage)
+        if entry is None:
+            self.stages[stage] = [seconds, count]
+        else:
+            entry[0] += seconds
+            entry[1] += count
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Context manager timing one block as ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - start)
+
+    def seconds(self, stage: str) -> float:
+        """Total seconds recorded for ``stage`` (0.0 if never hit)."""
+        entry = self.stages.get(stage)
+        return entry[0] if entry is not None else 0.0
+
+    def count(self, stage: str) -> int:
+        """How many times ``stage`` was recorded."""
+        entry = self.stages.get(stage)
+        return entry[1] if entry is not None else 0
+
+    def merge(self, other: "Timings | Mapping[str, Mapping[str, float]]") -> "Timings":
+        """Fold another accumulator (or its dict form) into this one."""
+        if isinstance(other, Timings):
+            for stage, (seconds, count) in other.stages.items():
+                self.add(stage, seconds, count)
+        else:
+            for stage, entry in other.items():
+                self.add(stage, float(entry["seconds"]), int(entry["count"]))
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-safe form: ``{stage: {"seconds": s, "count": c}}``."""
+        return {
+            stage: {"seconds": entry[0], "count": entry[1]}
+            for stage, entry in sorted(self.stages.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Mapping[str, float]]) -> "Timings":
+        """Rebuild an accumulator from :meth:`to_dict` output."""
+        timings = cls()
+        return timings.merge(payload)
+
+    def render_rows(self) -> list[list[object]]:
+        """Table rows ``[stage, seconds, count, mean ms]``, slowest first."""
+        rows: list[list[object]] = []
+        for stage, (seconds, count) in sorted(
+            self.stages.items(), key=lambda item: -item[1][0]
+        ):
+            mean_ms = (seconds / count * 1000.0) if count else 0.0
+            rows.append([stage, f"{seconds:.4f}", count, f"{mean_ms:.3f}"])
+        return rows
+
+    def __bool__(self) -> bool:
+        return bool(self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(entry[0] for entry in self.stages.values())
+        return f"Timings({len(self.stages)} stages, {total:.4f}s)"

@@ -24,7 +24,7 @@ from .fast import (
     run_broadcast_fast,
 )
 from .faults import FaultCounters, FaultPlan, derive_fault_seed
-from .messages import SOURCE_PAYLOAD, Message, source_message
+from .messages import Message, SOURCE_PAYLOAD, source_message
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol
 from .run import (

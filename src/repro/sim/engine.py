@@ -20,11 +20,14 @@ semantics lives in :mod:`repro.sim.fast`.
 from __future__ import annotations
 
 import random
+import time
 from typing import Callable
 
+from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from ..obs.timings import Timings
 from .coins import derive_node_rng
 from .errors import ConfigurationError
-from .faults import NEVER, FaultCounters, FaultPlan, derive_fault_seed, scalar_loss_coin
+from .faults import FaultCounters, FaultPlan, NEVER, derive_fault_seed, scalar_loss_coin
 from .messages import Message
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm, Protocol
@@ -59,6 +62,13 @@ class SynchronousEngine:
             this execution (crashes, jamming, message loss, wake delays).
             Semantics are identical on the vectorised engines — the
             differential suite asserts bit-identical faulty executions.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+            given the engine counts slots, transmissions, and collisions
+            per slot.  Purely observational — the execution is identical
+            with or without it.
+        timings: Optional :class:`~repro.obs.timings.Timings` accumulating
+            wall-clock per stage (``engine.actions``, ``engine.channel``,
+            ``engine.step``).
     """
 
     def __init__(
@@ -70,6 +80,8 @@ class SynchronousEngine:
         step_hook: Callable[[int, tuple[int, ...]], None] | None = None,
         collision_detection: bool = False,
         faults: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
+        timings: Timings | None = None,
     ) -> None:
         self.network = network
         self.algorithm = algorithm
@@ -78,6 +90,16 @@ class SynchronousEngine:
         self.step_hook = step_hook
         self.collision_detection = collision_detection
         self.step = 0
+        self.timings = timings
+        self.metrics = metrics
+        self._tx_counts: dict[int, int] | None = {} if metrics is not None else None
+        if metrics is not None:
+            # Instruments are resolved once here, not per slot.
+            self._slots_counter = metrics.counter("engine_slots")
+            self._tx_counter = metrics.counter("engine_transmissions")
+            self._collision_hist = metrics.histogram(
+                "collisions_per_slot", COUNT_BUCKETS
+            )
         self.faults = faults
         self.fault_counters: FaultCounters | None = None
         self._crash_slots: dict[int, int] = {}
@@ -167,6 +189,8 @@ class SynchronousEngine:
         """
         step = self.step
         out_neighbors = self.network.out_neighbors
+        timings = self.timings
+        t_start = time.perf_counter() if timings is not None else 0.0
         faulty = self.faults is not None
         jam_set: frozenset[int] = frozenset()
         if faulty:
@@ -182,6 +206,10 @@ class SynchronousEngine:
             payload = protocol.next_action(step)
             if payload is not None:
                 transmissions[label] = Message(sender=label, payload=payload)
+
+        if timings is not None:
+            t_actions = time.perf_counter()
+            timings.add("engine.actions", t_actions - t_start)
 
         # Channel resolution: count transmitting in-neighbours per receiver.
         hits: dict[int, int] = {}
@@ -248,6 +276,27 @@ class SynchronousEngine:
                     step, COLLISION_MARKER if label in collided_listeners else None
                 )
 
+        if timings is not None:
+            t_channel = time.perf_counter()
+            timings.add("engine.channel", t_channel - t_actions)
+            timings.add("engine.step", t_channel - t_start)
+        if self.metrics is not None:
+            self._slots_counter.inc()
+            self._tx_counter.inc(len(transmissions))
+            tx_counts = self._tx_counts
+            for label in transmissions:
+                tx_counts[label] = tx_counts.get(label, 0) + 1
+            # Same collision definition as the fast engines: receivers
+            # with >= 2 transmitting in-neighbours that are not
+            # themselves transmitting (dead receivers included).
+            self._collision_hist.observe(
+                sum(
+                    1
+                    for receiver, count in hits.items()
+                    if count >= 2 and receiver not in transmissions
+                )
+            )
+
         transmitter_labels = tuple(sorted(transmissions))
         if self.trace.level is not TraceLevel.NONE:
             self.trace.record(
@@ -287,6 +336,16 @@ class SynchronousEngine:
             self.run_step()
             executed += 1
         return executed
+
+    def transmission_counts(self) -> list[int] | None:
+        """Per-node transmission tallies (label order), or ``None``.
+
+        Only tracked when the engine was constructed with ``metrics``;
+        uninstrumented runs pay nothing for it.
+        """
+        if self._tx_counts is None:
+            return None
+        return [self._tx_counts.get(label, 0) for label in self.network.nodes]
 
     @property
     def completion_time(self) -> int | None:

@@ -27,16 +27,19 @@ for the same ``(seed, label, step)``.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Protocol as TypingProtocol, Sequence, runtime_checkable
 
 import numpy as np
 from scipy import sparse
 
+from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from ..obs.timings import Timings
 from .coins import CoinSource, derive_trial_seeds
 from .errors import ConfigurationError
 from .faults import CompiledFaults, FaultCounters, FaultPlan, compile_faults, derive_fault_seed
 from .network import RadioNetwork
-from .run import BroadcastResult, _layer_times, default_max_steps
+from .run import BroadcastResult, _layer_times, _record_result_metrics, default_max_steps
 from .trace import Trace, TraceLevel
 
 __all__ = [
@@ -127,6 +130,12 @@ class FastEngine:
             engine's per-node protocols draw.
         faults: Optional :class:`~repro.sim.faults.FaultPlan`; applied
             with exactly the reference engine's semantics.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            (slot/transmission/collision instruments, identical names and
+            semantics to the reference engine's).
+        timings: Optional :class:`~repro.obs.timings.Timings` accumulating
+            the stages ``engine.coins``, ``engine.channel``,
+            ``engine.faults`` (⊂ channel), and ``engine.step``.
     """
 
     def __init__(
@@ -135,6 +144,8 @@ class FastEngine:
         algorithm: VectorizedAlgorithm,
         seed: int = 0,
         faults: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
+        timings: Timings | None = None,
     ):
         _check_vectorized(algorithm)
         self.network = network
@@ -147,6 +158,16 @@ class FastEngine:
         self.wake_steps = np.full(network.n, ASLEEP, dtype=np.int64)
         self.wake_steps[self._index[network.source]] = -1
         self.step = 0
+        self.timings = timings
+        self.metrics = metrics
+        self._tx_counts: np.ndarray | None = None
+        if metrics is not None:
+            self._slots_counter = metrics.counter("engine_slots")
+            self._tx_counter = metrics.counter("engine_transmissions")
+            self._collision_hist = metrics.histogram(
+                "collisions_per_slot", COUNT_BUCKETS
+            )
+            self._tx_counts = np.zeros(network.n, dtype=np.int64)
         self.faults = faults
         self.fault_counters: FaultCounters | None = None
         self._cf: CompiledFaults | None = None
@@ -190,6 +211,8 @@ class FastEngine:
         step = self.step
         awake = self.awake
         cf = self._cf
+        timings = self.timings
+        t_start = perf_counter() if timings is not None else 0.0
         alive = None
         if cf is not None:
             counters = self.fault_counters
@@ -200,12 +223,18 @@ class FastEngine:
         mask = self.algorithm.transmit_mask(
             step, self.labels, self.wake_steps, self.network.r, self.coins
         )
+        if timings is not None:
+            t_coins = perf_counter()
+            timings.add("engine.coins", t_coins - t_start)
         mask = np.asarray(mask, dtype=bool) & awake  # no spontaneous transmissions
         if alive is not None:
             mask &= alive  # crashed nodes are silent forever
+        n_coll = 0
         if mask.any():
             hits = mask.astype(np.int32) @ self.adjacency
             hits = np.asarray(hits).ravel()
+            if self.metrics is not None:
+                n_coll = int(((hits >= 2) & ~mask).sum())
             if cf is None:
                 # Exactly-one rule; transmitters cannot receive (half-duplex)
                 # but they are already informed, so only sleepers matter.
@@ -213,6 +242,7 @@ class FastEngine:
             else:
                 # Fault pipeline, identical to the reference engine:
                 # crash -> jam -> loss -> wake-delay.
+                t_faults = perf_counter() if timings is not None else 0.0
                 delivered = (hits == 1) & ~mask
                 if alive is not None:
                     delivered &= alive
@@ -232,7 +262,18 @@ class FastEngine:
                     newly = sleeping & ~delayed
                 else:
                     newly = sleeping
+                if timings is not None:
+                    timings.add("engine.faults", perf_counter() - t_faults)
             self.wake_steps[newly] = step
+        if timings is not None:
+            t_end = perf_counter()
+            timings.add("engine.channel", t_end - t_coins)
+            timings.add("engine.step", t_end - t_start)
+        if self.metrics is not None:
+            self._slots_counter.inc()
+            self._tx_counter.inc(int(mask.sum()))
+            self._tx_counts += mask
+            self._collision_hist.observe(n_coll)
         self.step += 1
         return mask
 
@@ -261,6 +302,13 @@ class FastEngine:
             if ws != ASLEEP
         }
 
+    def transmission_counts(self) -> list[int] | None:
+        """Per-node transmission tallies (label order); ``None`` when
+        the engine ran uninstrumented."""
+        if self._tx_counts is None:
+            return None
+        return [int(c) for c in self._tx_counts]
+
 
 class BatchedFastEngine:
     """Array-based engine running ``T`` independent trials in lock-step.
@@ -281,6 +329,12 @@ class BatchedFastEngine:
             environment is the adversary), while the loss stream is keyed
             per trial seed — trial ``t`` reproduces exactly
             ``FastEngine(network, algorithm, seeds[t], faults=faults)``.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+            Tallies are *per-trial-slot* and filtered to active
+            (unsettled) trials, so they match what the ``trials``
+            single-run engines would have recorded in aggregate.
+        timings: Optional :class:`~repro.obs.timings.Timings`, shared by
+            the whole batch (stage costs are joint across trials).
     """
 
     def __init__(
@@ -289,6 +343,8 @@ class BatchedFastEngine:
         algorithm: VectorizedAlgorithm,
         seeds: Sequence[int],
         faults: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
+        timings: Timings | None = None,
     ):
         _check_vectorized(algorithm)
         if len(seeds) < 1:
@@ -307,6 +363,16 @@ class BatchedFastEngine:
         self.wake_steps = np.full((self.trials, network.n), ASLEEP, dtype=np.int64)
         self.wake_steps[:, self._index[network.source]] = -1
         self.step = 0
+        self.timings = timings
+        self.metrics = metrics
+        self._tx_counts: np.ndarray | None = None
+        if metrics is not None:
+            self._slots_counter = metrics.counter("engine_slots")
+            self._tx_counter = metrics.counter("engine_transmissions")
+            self._collision_hist = metrics.histogram(
+                "collisions_per_slot", COUNT_BUCKETS
+            )
+            self._tx_counts = np.zeros((self.trials, network.n), dtype=np.int64)
         self.faults = faults
         self._cf: CompiledFaults | None = None
         if faults is not None:
@@ -369,6 +435,8 @@ class BatchedFastEngine:
         step = self.step
         awake = self.awake
         cf = self._cf
+        timings = self.timings
+        t_start = perf_counter() if timings is not None else 0.0
         alive = None
         active = None
         if cf is not None:
@@ -384,19 +452,32 @@ class BatchedFastEngine:
                 self._jammed += jam_count * active
             if cf.has_crashes:
                 alive = cf.crash_slots > step  # (n,), broadcasts over trials
+        m_active = None
+        if self.metrics is not None:
+            # Same freeze rule for metric tallies: settled trials keep
+            # stepping as array rows, but the runs they reproduce have
+            # already stopped, so their slots no longer count.
+            m_active = active if active is not None else ~self.trials_settled
         mask = self.algorithm.transmit_mask(
             step, self.labels, self.wake_steps, self.network.r, self.coins
         )
+        if timings is not None:
+            t_coins = perf_counter()
+            timings.add("engine.coins", t_coins - t_start)
         mask = np.broadcast_to(np.asarray(mask, dtype=bool), awake.shape) & awake
         if alive is not None:
             mask = mask & alive  # crashed nodes are silent forever
+        collisions = None
         if mask.any():
             hits = (self._adjacency_t @ mask.T.astype(np.int32)).T
+            if self.metrics is not None:
+                collisions = ((hits >= 2) & ~mask).sum(axis=1)
             if cf is None:
                 newly = (~awake) & (hits == 1)
             else:
                 # Fault pipeline, identical to FastEngine per trial row:
                 # crash -> jam -> loss -> wake-delay.
+                t_faults = perf_counter() if timings is not None else 0.0
                 delivered = (hits == 1) & ~mask
                 if alive is not None:
                     delivered &= alive
@@ -416,7 +497,23 @@ class BatchedFastEngine:
                     newly = sleeping & ~delayed
                 else:
                     newly = sleeping
+                if timings is not None:
+                    timings.add("engine.faults", perf_counter() - t_faults)
             self.wake_steps[newly] = step
+        if timings is not None:
+            t_end = perf_counter()
+            timings.add("engine.channel", t_end - t_coins)
+            timings.add("engine.step", t_end - t_start)
+        if self.metrics is not None:
+            # One engine_slots tick per *active trial*, so counters stay
+            # comparable with running the trials on single-run engines.
+            self._slots_counter.inc(int(m_active.sum()))
+            active_mask = mask & m_active[:, None]
+            self._tx_counter.inc(int(active_mask.sum()))
+            self._tx_counts += active_mask
+            if collisions is None:
+                collisions = np.zeros(self.trials, dtype=np.int64)
+            self._collision_hist.observe_many(collisions[m_active])
         self.step += 1
         return mask
 
@@ -478,6 +575,13 @@ class BatchedFastEngine:
             if ws != ASLEEP
         }
 
+    def transmission_counts(self, trial: int) -> list[int] | None:
+        """Per-node transmission tallies of one trial (label order);
+        ``None`` when the engine ran uninstrumented."""
+        if self._tx_counts is None:
+            return None
+        return [int(c) for c in self._tx_counts[trial]]
+
 
 def run_broadcast_fast(
     network: RadioNetwork,
@@ -485,16 +589,23 @@ def run_broadcast_fast(
     seed: int = 0,
     max_steps: int | None = None,
     faults: FaultPlan | None = None,
+    metrics: MetricsRegistry | None = None,
+    timings: Timings | None = None,
 ) -> BroadcastResult:
     """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
-    engine = FastEngine(network, algorithm, seed=seed, faults=faults)
+    if timings is None and metrics is not None:
+        timings = Timings()
+    engine = FastEngine(
+        network, algorithm, seed=seed, faults=faults,
+        metrics=metrics, timings=timings,
+    )
     engine.run(max_steps)
     completed = engine.all_informed
     time = engine.completion_time if completed else engine.step
     wake_times = engine.wake_times()
-    return BroadcastResult(
+    result = BroadcastResult(
         completed=completed,
         time=time,
         informed=engine.informed_count,
@@ -510,7 +621,11 @@ def run_broadcast_fast(
             if engine.fault_counters is not None
             else None
         ),
+        timings=timings,
     )
+    if metrics is not None:
+        _record_result_metrics(metrics, result, engine.transmission_counts())
+    return result
 
 
 def run_broadcast_batch(
@@ -521,6 +636,8 @@ def run_broadcast_batch(
     base_seed: int = 0,
     max_steps: int | None = None,
     faults: FaultPlan | None = None,
+    metrics: MetricsRegistry | None = None,
+    timings: Timings | None = None,
 ) -> list[BroadcastResult]:
     """Run many Monte-Carlo trials of one broadcast as a single array program.
 
@@ -543,6 +660,12 @@ def run_broadcast_batch(
             :func:`~repro.sim.run.run_broadcast`.
         faults: Optional :class:`~repro.sim.faults.FaultPlan` applied to
             every trial (per-trial loss realisations).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving per-trial-slot engine tallies and per-trial run
+            summaries.
+        timings: Optional :class:`~repro.obs.timings.Timings`; the batch
+            runs as one array program, so every returned result carries
+            the *same* (shared) timings object.
 
     Returns:
         One :class:`~repro.sim.run.BroadcastResult` per trial, in seed order.
@@ -557,7 +680,12 @@ def run_broadcast_batch(
         )
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
-    engine = BatchedFastEngine(network, algorithm, seeds, faults=faults)
+    if timings is None and metrics is not None:
+        timings = Timings()
+    engine = BatchedFastEngine(
+        network, algorithm, seeds, faults=faults,
+        metrics=metrics, timings=timings,
+    )
     engine.run(max_steps)
     times = engine.completion_times()
     counts = engine.informed_counts()
@@ -565,19 +693,21 @@ def run_broadcast_batch(
     for t, seed in enumerate(engine.seeds):
         completed = times[t] is not None
         wake_times = engine.wake_times(t)
-        results.append(
-            BroadcastResult(
-                completed=completed,
-                time=times[t] if completed else engine.trial_steps(t),
-                informed=int(counts[t]),
-                n=network.n,
-                radius=network.radius,
-                algorithm=algorithm.name,
-                seed=seed,
-                wake_times=wake_times,
-                layer_times=_layer_times(network, wake_times),
-                trace=Trace(level=TraceLevel.NONE),
-                fault_counters=engine.fault_counters_for(t),
-            )
+        result = BroadcastResult(
+            completed=completed,
+            time=times[t] if completed else engine.trial_steps(t),
+            informed=int(counts[t]),
+            n=network.n,
+            radius=network.radius,
+            algorithm=algorithm.name,
+            seed=seed,
+            wake_times=wake_times,
+            layer_times=_layer_times(network, wake_times),
+            trace=Trace(level=TraceLevel.NONE),
+            fault_counters=engine.fault_counters_for(t),
+            timings=timings,
         )
+        if metrics is not None:
+            _record_result_metrics(metrics, result, engine.transmission_counts(t))
+        results.append(result)
     return results

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry, SLOT_BUCKETS
+from ..obs.timings import Timings
+
 # Seed-derivation helpers: defined in repro.sim.coins (run.py sits above
 # the engines in the import graph) and re-exported here as the canonical
 # public location.  Every engine derives per-node randomness through these
@@ -73,6 +76,11 @@ class BroadcastResult:
         fault_counters: What the fault plan did to this run
             (:class:`~repro.sim.faults.FaultCounters`); ``None`` when the
             run executed without a plan.
+        timings: Wall-clock stage timings (:class:`~repro.obs.timings.Timings`)
+            when the run was instrumented; ``None`` otherwise.  Results
+            from one batched execution share a single ``Timings`` object —
+            the batch ran as one array program, so its stage costs are
+            joint, not per-trial.
     """
 
     completed: bool
@@ -86,6 +94,7 @@ class BroadcastResult:
     layer_times: tuple[int | None, ...] = field(repr=False, default=())
     trace: Trace = field(repr=False, default_factory=Trace)
     fault_counters: FaultCounters | None = field(repr=False, default=None)
+    timings: Timings | None = field(repr=False, default=None)
 
     @property
     def slowdown_vs_radius(self) -> float:
@@ -103,6 +112,34 @@ def _layer_times(network: RadioNetwork, wake_times: dict[int, int]) -> tuple[int
     return tuple(times)
 
 
+def _record_result_metrics(
+    metrics: MetricsRegistry,
+    result: BroadcastResult,
+    transmission_counts=None,
+) -> None:
+    """Driver-level metric observations for one finished run.
+
+    The per-slot engine counters (``engine_*``) are incremented by the
+    engines themselves; this records the per-*run* summary metrics the
+    canonical registry exposes (names documented in
+    ``docs/OBSERVABILITY.md``).
+    """
+    metrics.counter("runs_total").inc()
+    if result.completed:
+        metrics.counter("runs_completed").inc()
+    metrics.histogram("slots_to_completion", SLOT_BUCKETS).observe(result.time)
+    if transmission_counts is not None:
+        metrics.histogram("transmissions_per_node", COUNT_BUCKETS).observe_many(
+            transmission_counts
+        )
+    counters = result.fault_counters
+    if counters is not None:
+        metrics.counter("faults_crashed_nodes").inc(counters.crashed_nodes)
+        metrics.counter("faults_jammed_slots").inc(counters.jammed_slots)
+        metrics.counter("faults_lost_messages").inc(counters.lost_messages)
+        metrics.counter("faults_delayed_wakes").inc(counters.delayed_wakes)
+
+
 def run_broadcast(
     network: RadioNetwork,
     algorithm: BroadcastAlgorithm,
@@ -112,6 +149,8 @@ def run_broadcast(
     require_completion: bool = False,
     collision_detection: bool = False,
     faults: FaultPlan | None = None,
+    metrics: MetricsRegistry | None = None,
+    timings: Timings | None = None,
 ) -> BroadcastResult:
     """Execute one broadcast and measure its time.
 
@@ -132,12 +171,22 @@ def run_broadcast(
         faults: Optional :class:`~repro.sim.faults.FaultPlan` injected
             into the execution; the result then carries
             :attr:`BroadcastResult.fault_counters`.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+            When given, the engine records per-slot counters and this
+            driver observes the per-run summary metrics; the result also
+            carries stage :attr:`BroadcastResult.timings`.  Instrumenting
+            never changes what the run computes.
+        timings: Optional :class:`~repro.obs.timings.Timings` to
+            accumulate into (shared across several runs, e.g. by a sweep
+            point); defaults to a fresh one when ``metrics`` is given.
 
     Returns:
         A :class:`BroadcastResult`.
     """
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
+    if timings is None and metrics is not None:
+        timings = Timings()
     engine = SynchronousEngine(
         network,
         algorithm,
@@ -145,6 +194,8 @@ def run_broadcast(
         trace_level=trace_level,
         collision_detection=collision_detection,
         faults=faults,
+        metrics=metrics,
+        timings=timings,
     )
     engine.run(max_steps)
     completed = engine.all_informed
@@ -165,7 +216,10 @@ def run_broadcast(
             if engine.fault_counters is not None
             else None
         ),
+        timings=timings,
     )
+    if metrics is not None:
+        _record_result_metrics(metrics, result, engine.transmission_counts())
     if require_completion and not completed:
         raise BroadcastIncompleteError(
             f"{algorithm.name} informed {result.informed}/{network.n} nodes "
@@ -184,6 +238,8 @@ def repeat_broadcast(
     require_completion: bool = True,
     engine: str = "auto",
     faults: FaultPlan | None = None,
+    metrics: MetricsRegistry | None = None,
+    timings: Timings | None = None,
 ) -> list[BroadcastResult]:
     """Run the same broadcast ``runs`` times with seeds ``base_seed + i``.
 
@@ -205,6 +261,10 @@ def repeat_broadcast(
             protocols with message-dependent behaviour).
         faults: Optional :class:`~repro.sim.faults.FaultPlan` applied to
             every trial (the loss realisation still differs per trial).
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            shared by every trial.
+        timings: Optional :class:`~repro.obs.timings.Timings` shared by
+            every trial; defaults to a fresh one when ``metrics`` is given.
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be positive, got {runs}")
@@ -212,6 +272,8 @@ def repeat_broadcast(
         raise ConfigurationError(f"unknown engine {engine!r}")
     if algorithm.deterministic and (faults is None or faults.loss_probability == 0.0):
         runs = 1
+    if timings is None and metrics is not None:
+        timings = Timings()
     if engine != "reference":
         # Imported lazily: fast.py imports this module for BroadcastResult.
         from .fast import VectorizedAlgorithm, run_broadcast_batch
@@ -224,6 +286,8 @@ def repeat_broadcast(
                 base_seed=base_seed,
                 max_steps=max_steps,
                 faults=faults,
+                metrics=metrics,
+                timings=timings,
             )
             if require_completion:
                 for result in results:
@@ -246,6 +310,8 @@ def repeat_broadcast(
             max_steps=max_steps,
             require_completion=require_completion,
             faults=faults,
+            metrics=metrics,
+            timings=timings,
         )
         for seed in derive_trial_seeds(base_seed, runs)
     ]

@@ -14,6 +14,7 @@ import json
 import pathlib
 from typing import Any
 
+from ..obs.timings import Timings
 from .errors import ConfigurationError
 from .faults import FaultCounters
 from .network import RadioNetwork
@@ -89,6 +90,9 @@ def result_to_dict(result: BroadcastResult) -> dict[str, Any]:
     # Only faulty runs carry the key, so pristine documents are unchanged.
     if result.fault_counters is not None:
         data["fault_counters"] = result.fault_counters.to_dict()
+    # Likewise only instrumented runs carry stage timings.
+    if result.timings is not None and result.timings:
+        data["timings"] = result.timings.to_dict()
     return data
 
 
@@ -114,6 +118,9 @@ def result_from_dict(data: dict[str, Any]) -> BroadcastResult:
             FaultCounters.from_dict(data["fault_counters"])
             if "fault_counters" in data
             else None
+        ),
+        timings=(
+            Timings.from_dict(data["timings"]) if "timings" in data else None
         ),
     )
 

@@ -56,11 +56,22 @@ class ResultCache:
             # A torn or corrupt entry is a miss; the point simply re-runs.
             return None
 
-    def put(self, point: SweepPoint, payload: dict) -> pathlib.Path:
-        """Store ``payload`` for ``point`` atomically; returns the path."""
+    def put(
+        self, point: SweepPoint, payload: dict, text: str | None = None
+    ) -> pathlib.Path:
+        """Store ``payload`` for ``point`` atomically; returns the path.
+
+        Args:
+            text: Pre-serialised ``canonical_json(payload)``; callers that
+                time serialisation separately from the write pass it in so
+                the payload is not encoded twice.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(point)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(canonical_json(payload), encoding="utf-8")
+        tmp.write_text(
+            text if text is not None else canonical_json(payload),
+            encoding="utf-8",
+        )
         os.replace(tmp, path)
         return path

@@ -37,6 +37,9 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..analysis import render_table
+from ..obs.metrics import MetricsRegistry
+from ..obs.runlog import RunLogger
+from ..obs.timings import Timings
 from ..sim.errors import ConfigurationError, SimulationError
 from ..sim.faults import FaultPlan
 from ..sim.run import repeat_broadcast
@@ -100,11 +103,16 @@ def _point_from_canonical(payload: dict) -> SweepPoint:
     )
 
 
-def execute_point(canonical: dict) -> dict:
+def execute_point(canonical: dict, instrument: bool = False) -> dict:
     """Run one sweep point; top-level so worker processes can unpickle it.
 
     Args:
         canonical: A :meth:`SweepPoint.canonical` dict.
+        instrument: Record stage timings (``point.build``, ``point.run``,
+            plus the engine stages) and a metrics snapshot into the
+            payload under ``"timings"`` / ``"metrics"``.  The simulated
+            results are identical either way; the extra keys are stripped
+            before cache writes so cached payloads stay deterministic.
 
     Returns:
         JSON-safe payload with per-trial times and summary statistics.
@@ -114,8 +122,17 @@ def execute_point(canonical: dict) -> dict:
         trials.
     """
     point = _point_from_canonical(canonical)
+    metrics: MetricsRegistry | None = None
+    timings: Timings | None = None
+    if instrument:
+        metrics = MetricsRegistry()
+        timings = Timings()
+        t_start = time.perf_counter()
     network = build_topology(point.topology, dict(point.topology_params))
     algorithm = build_algorithm(point.algorithm, network, dict(point.algorithm_params))
+    if instrument:
+        t_built = time.perf_counter()
+        timings.add("point.build", t_built - t_start)
     results = repeat_broadcast(
         network,
         algorithm,
@@ -124,7 +141,11 @@ def execute_point(canonical: dict) -> dict:
         max_steps=point.max_steps,
         require_completion=False,
         faults=point.faults,
+        metrics=metrics,
+        timings=timings,
     )
+    if instrument:
+        timings.add("point.run", time.perf_counter() - t_built)
     times = [r.time for r in results]
     payload = {
         "point": canonical,
@@ -150,6 +171,22 @@ def execute_point(canonical: dict) -> dict:
                 "crashed_nodes", "jammed_slots", "lost_messages", "delayed_wakes"
             )
         }
+    if instrument:
+        payload["timings"] = timings.to_dict()
+        payload["metrics"] = metrics.to_dict()
+    return payload
+
+
+#: Payload keys that must never enter the cache: they carry wall-clock
+#: measurements, and cached payloads are required to reproduce
+#: byte-identically on every machine.
+_OBS_KEYS = ("timings", "metrics")
+
+
+def _strip_observability(payload: dict) -> dict:
+    """Payload without its observability keys (for cache writes)."""
+    if any(key in payload for key in _OBS_KEYS):
+        return {k: v for k, v in payload.items() if k not in _OBS_KEYS}
     return payload
 
 
@@ -208,7 +245,7 @@ class SweepOutcome:
 # Crash-safe worker pool
 
 
-def _pool_worker(task_queue, result_queue) -> None:
+def _pool_worker(task_queue, result_queue, instrument: bool = False) -> None:
     """Worker loop: announce the task, run it, report the outcome.
 
     The ``start`` message *before* execution is what makes recovery
@@ -223,7 +260,12 @@ def _pool_worker(task_queue, result_queue) -> None:
         index, canonical = task
         result_queue.put(("start", index, pid))
         try:
-            payload = execute_point(canonical)
+            # Positional single-arg call when uninstrumented: tests may
+            # monkeypatch ``execute_point`` with one-argument stand-ins.
+            if instrument:
+                payload = execute_point(canonical, instrument=True)
+            else:
+                payload = execute_point(canonical)
         except Exception as exc:
             retryable = not isinstance(exc, ConfigurationError)
             result_queue.put(
@@ -240,12 +282,19 @@ def _run_pool(
     retries: int,
     backoff: float,
     on_done: Callable[[int, dict], None],
-) -> dict[int, str]:
+    instrument: bool = False,
+    on_event: Callable[..., None] | None = None,
+) -> dict[int, tuple[str, int]]:
     """Execute ``(index, canonical)`` tasks on a kill-tolerant pool.
 
-    Calls ``on_done(index, payload)`` in completion order.  Returns
-    ``index -> error`` for every task that exhausted its attempts (empty
-    on full success); never raises for task-level failures.
+    Calls ``on_done(index, payload)`` in completion order.  ``on_event``
+    (when given) observes lifecycle transitions as
+    ``on_event(kind, index, **info)`` with kinds ``spawned`` / ``started``
+    / ``timed_out`` / ``killed`` / ``retried`` / ``failed``; the runner
+    uses it for run logs and queue-wait timing.  Returns
+    ``index -> (error, attempts)`` for every task that exhausted its
+    attempts (empty on full success); never raises for task-level
+    failures.
     """
     try:
         context = multiprocessing.get_context("fork")
@@ -257,15 +306,20 @@ def _run_pool(
     canonicals = dict(tasks)
     attempts = {index: 0 for index, _ in tasks}
     remaining = set(canonicals)
-    failed: dict[int, str] = {}
+    failed: dict[int, tuple[str, int]] = {}
     delayed: list[tuple[float, int]] = []  # (ready time, index)
     inflight: dict[int, tuple[int, float | None]] = {}  # pid -> (index, deadline)
+
+    def emit(kind: str, index: int, **info) -> None:
+        if on_event is not None:
+            on_event(kind, index, **info)
 
     def submit(index: int) -> None:
         nonlocal last_activity
         attempts[index] += 1
         task_queue.put((index, canonicals[index]))
         last_activity = time.monotonic()
+        emit("spawned", index, attempt=attempts[index])
 
     def handle_failure(index: int, error: str, retryable: bool) -> None:
         if index not in remaining or index in failed:
@@ -275,9 +329,11 @@ def _run_pool(
         if retryable and attempts[index] < retries + 1:
             pause = backoff * (2 ** (attempts[index] - 1))
             delayed.append((time.monotonic() + pause, index))
+            emit("retried", index, attempt=attempts[index], error=error)
         else:
             remaining.discard(index)
-            failed[index] = error
+            failed[index] = (error, attempts[index])
+            emit("failed", index, error=error, attempts=attempts[index])
 
     def clear_inflight(index: int) -> None:
         for pid, (running, _) in list(inflight.items()):
@@ -286,7 +342,9 @@ def _run_pool(
 
     def spawn() -> "multiprocessing.Process":
         process = context.Process(
-            target=_pool_worker, args=(task_queue, result_queue), daemon=True
+            target=_pool_worker,
+            args=(task_queue, result_queue, instrument),
+            daemon=True,
         )
         process.start()
         return process
@@ -311,6 +369,7 @@ def _run_pool(
                         # in-flight entry so the death observed below is
                         # not attributed a second time.
                         del inflight[pid]
+                        emit("timed_out", index, timeout=timeout)
                         handle_failure(
                             index, f"timed out after {timeout:g}s", retryable=True
                         )
@@ -323,6 +382,7 @@ def _run_pool(
                     processes.remove(process)
                     info = inflight.pop(process.pid, None)
                     if info is not None:
+                        emit("killed", info[0])
                         handle_failure(
                             info[0],
                             "worker process died mid-point "
@@ -349,6 +409,7 @@ def _run_pool(
                 pid = message[2]
                 deadline = time.monotonic() + timeout if timeout is not None else None
                 inflight[pid] = (index, deadline)
+                emit("started", index)
             elif kind == "done":
                 clear_inflight(index)
                 if index in remaining:
@@ -373,20 +434,37 @@ def _execute_serial(
     retries: int,
     backoff: float,
     on_done: Callable[[int, dict], None],
-) -> dict[int, str]:
+    instrument: bool = False,
+    on_event: Callable[..., None] | None = None,
+) -> dict[int, tuple[str, int]]:
     """In-process counterpart of :func:`_run_pool` (no timeout support)."""
-    failed: dict[int, str] = {}
+
+    def emit(kind: str, index: int, **info) -> None:
+        if on_event is not None:
+            on_event(kind, index, **info)
+
+    failed: dict[int, tuple[str, int]] = {}
     for index, canonical in tasks:
         for attempt in range(retries + 1):
+            emit("spawned", index, attempt=attempt + 1)
+            emit("started", index)
             try:
-                payload = execute_point(canonical)
+                if instrument:
+                    payload = execute_point(canonical, instrument=True)
+                else:
+                    payload = execute_point(canonical)
             except ConfigurationError as exc:
-                failed[index] = f"{type(exc).__name__}: {exc}"
+                error = f"{type(exc).__name__}: {exc}"
+                failed[index] = (error, attempt + 1)
+                emit("failed", index, error=error, attempts=attempt + 1)
                 break
             except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
                 if attempt == retries:
-                    failed[index] = f"{type(exc).__name__}: {exc}"
+                    failed[index] = (error, attempt + 1)
+                    emit("failed", index, error=error, attempts=attempt + 1)
                     break
+                emit("retried", index, attempt=attempt + 1, error=error)
                 time.sleep(backoff * (2 ** attempt))
             else:
                 on_done(index, payload)
@@ -402,6 +480,8 @@ def run_sweep(
     timeout: float | None = None,
     retries: int = 0,
     backoff: float = 0.5,
+    instrument: bool = False,
+    runlog: RunLogger | None = None,
 ) -> SweepOutcome:
     """Execute a sweep, sharding cache misses across worker processes.
 
@@ -426,6 +506,18 @@ def run_sweep(
             deterministic and never retried.
         backoff: Base delay in seconds before a retry; doubles with each
             subsequent attempt of the same point.
+        instrument: Execute points with metrics and stage timings; each
+            executed payload then carries ``"timings"`` (worker stages
+            plus ``pool.queue_wait`` / ``pool.execute`` /
+            ``pool.serialize`` / ``pool.cache_write``) and ``"metrics"``
+            keys.  Both are stripped before cache writes — the cache
+            stores only deterministic content.
+        runlog: Optional :class:`~repro.obs.runlog.RunLogger` receiving
+            one JSONL event per lifecycle transition (``sweep_started``,
+            ``point_cache_hit``, ``point_spawned``, ``point_completed``,
+            ``point_timed_out``, ``point_killed``, ``point_retried``,
+            ``point_failed``, ``sweep_completed``).  Only this parent
+            process writes to it.
 
     Returns:
         A :class:`SweepOutcome` with one :class:`PointResult` per grid
@@ -441,6 +533,14 @@ def run_sweep(
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be positive, got {timeout}")
     points = spec.points()
+    if runlog is not None:
+        runlog.event(
+            "sweep_started",
+            name=spec.name,
+            points=len(points),
+            workers=workers,
+            instrument=instrument,
+        )
     payloads: dict[int, dict] = {}
     cached_flags: dict[int, bool] = {}
     pending: list[int] = []
@@ -449,39 +549,122 @@ def run_sweep(
         if hit is not None:
             payloads[i] = hit
             cached_flags[i] = True
+            if runlog is not None:
+                runlog.event("point_cache_hit", index=i, label=point.label())
             if on_point is not None:
                 on_point(point, hit, True)
         else:
             pending.append(i)
 
+    failed: dict[int, tuple[str, int]] = {}
     if pending:
+        # Lifecycle bookkeeping: submit/start walltimes feed the
+        # pool.queue_wait / pool.execute stages of each point's timings.
+        submit_times: dict[int, float] = {}
+        start_times: dict[int, float] = {}
+        point_attempts: dict[int, int] = {}
+        observe = instrument or runlog is not None
+
+        def pool_event(kind: str, index: int, **info) -> None:
+            now = time.perf_counter()
+            if kind == "spawned":
+                submit_times[index] = now
+                start_times.pop(index, None)
+                point_attempts[index] = info.get("attempt", 1)
+                if runlog is not None:
+                    runlog.event(
+                        "point_spawned",
+                        index=index,
+                        label=points[index].label(),
+                        **info,
+                    )
+            elif kind == "started":
+                start_times[index] = now
+            elif runlog is not None:  # timed_out / killed / retried / failed
+                runlog.event(
+                    f"point_{kind}",
+                    index=index,
+                    label=points[index].label(),
+                    **info,
+                )
 
         def on_done(index: int, payload: dict) -> None:
             global _ENGINE_RUNS
             payloads[index] = payload
             cached_flags[index] = False
             _ENGINE_RUNS += payload["runs"]
+            done_at = time.perf_counter()
+            to_store = _strip_observability(payload)
+            timings: Timings | None = None
+            if observe:
+                timings = Timings.from_dict(payload.get("timings") or {})
+                submitted = submit_times.get(index)
+                started = start_times.get(index, submitted)
+                if started is not None and submitted is not None:
+                    timings.add("pool.queue_wait", started - submitted)
+                    timings.add("pool.execute", done_at - started)
             if cache is not None:
-                cache.put(points[index], payload)
+                if timings is not None:
+                    t0 = time.perf_counter()
+                    text = canonical_json(to_store)
+                    t1 = time.perf_counter()
+                    cache.put(points[index], to_store, text=text)
+                    timings.add("pool.serialize", t1 - t0)
+                    timings.add("pool.cache_write", time.perf_counter() - t1)
+                else:
+                    cache.put(points[index], to_store)
+            if timings is not None and "timings" in payload:
+                payload["timings"] = timings.to_dict()
+            if runlog is not None:
+                runlog.event(
+                    "point_completed",
+                    index=index,
+                    label=points[index].label(),
+                    attempt=point_attempts.get(index, 1),
+                    mean_time=payload.get("mean_time"),
+                    timings=(timings.to_dict() if timings is not None else None),
+                    metrics=payload.get("metrics"),
+                )
             if on_point is not None:
                 on_point(points[index], payload, False)
 
         tasks = [(i, points[i].canonical()) for i in pending]
         use_pool = (workers > 1 and len(pending) > 1) or timeout is not None
+        on_event = pool_event if observe else None
         if use_pool:
-            failed = _run_pool(tasks, workers, timeout, retries, backoff, on_done)
+            failed = _run_pool(
+                tasks, workers, timeout, retries, backoff, on_done,
+                instrument=instrument, on_event=on_event,
+            )
         else:
-            failed = _execute_serial(tasks, retries, backoff, on_done)
-        if failed:
-            failures = {points[i].label(): error for i, error in failed.items()}
-            detail = "; ".join(
-                f"{label}: {error}" for label, error in sorted(failures.items())
+            failed = _execute_serial(
+                tasks, retries, backoff, on_done,
+                instrument=instrument, on_event=on_event,
             )
-            raise SweepExecutionError(
-                f"{len(failed)} sweep point(s) failed after "
-                f"{retries + 1} attempt(s): {detail}",
-                failures=failures,
+
+    if runlog is not None:
+        runlog.event(
+            "sweep_completed",
+            name=spec.name,
+            executed=sum(1 for f in cached_flags.values() if not f),
+            from_cache=sum(1 for f in cached_flags.values() if f),
+            failed=len(failed),
+        )
+    if failed:
+        failures = {}
+        details = []
+        for i in sorted(failed):
+            error, attempt_count = failed[i]
+            label = points[i].label()
+            failures[label] = error
+            details.append(
+                f"{label}: {error} (after {attempt_count} attempt(s); "
+                f"spec {canonical_json(points[i].canonical())})"
             )
+        raise SweepExecutionError(
+            f"{len(failed)} sweep point(s) failed: " + "; ".join(details),
+            failures=failures,
+        )
 
     results = [
         PointResult(point=point, payload=payloads[i], cached=cached_flags[i])

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.adversary.jamming import COLLISION, SILENCE, JammingState
+from repro.adversary.jamming import COLLISION, JammingState, SILENCE
 from repro.sim.errors import ConfigurationError
 
 

@@ -8,6 +8,7 @@ from repro.analysis.progress import (
     Milestones,
     ascii_sparkline,
     front_speed,
+    initially_informed,
     milestones,
     progress_curve,
     progress_table_rows,
@@ -35,6 +36,33 @@ def test_progress_curve_star_single_slot():
     result = run_broadcast(net, RoundRobinBroadcast(net.r))
     curve = progress_curve(result)
     assert curve == [12]
+
+
+def test_single_node_network_zero_slot_run():
+    # Degenerate case: the source is the whole network, the run completes
+    # in zero slots, and the curve is empty — but coverage is total.
+    net = path(1)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    assert result.completed and result.time == 0
+    assert progress_curve(result) == []
+    assert initially_informed(result) == 1
+    marks = milestones(result)
+    assert marks == Milestones(half=0, ninety=0, full=0)
+
+
+def test_initially_informed_counts_only_the_source():
+    net = path(8)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    assert initially_informed(result) == 1
+
+
+def test_milestones_source_alone_meets_half_of_two_nodes():
+    # With n=2 the source is already 50% coverage before slot 0.
+    net = path(2)
+    result = run_broadcast(net, RoundRobinBroadcast(net.r))
+    marks = milestones(result)
+    assert marks.half == 0
+    assert marks.full == result.time
 
 
 def test_milestones_ordering():

@@ -12,7 +12,6 @@ from repro.core.echo import EchoProbe, EchoReply, StopAll, TokenAnnounce, TokenP
 from repro.core.select_and_send import SelectAndSend
 from repro.sim import run_broadcast
 from repro.sim.engine import SynchronousEngine
-from repro.sim.network import RadioNetwork
 from repro.sim.trace import TraceLevel
 from repro.topology import (
     caterpillar,

@@ -1,0 +1,133 @@
+"""Metrics registry units: counters, gauges, fixed-bucket histograms."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    SLOT_BUCKETS,
+)
+
+
+class TestBucketLayouts:
+    def test_slot_buckets_are_powers_of_two(self):
+        assert SLOT_BUCKETS[0] == 1
+        assert SLOT_BUCKETS[-1] == 131072
+        assert all(b == 2 * a for a, b in zip(SLOT_BUCKETS, SLOT_BUCKETS[1:]))
+
+    def test_count_buckets_start_at_zero(self):
+        assert COUNT_BUCKETS[0] == 0
+        assert list(COUNT_BUCKETS) == sorted(set(COUNT_BUCKETS))
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runs_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        # Lazily created instruments are cached by name.
+        assert registry.counter("runs_total") is counter
+
+    def test_gauge_keeps_last_value(self):
+        gauge = MetricsRegistry().gauge("queue_depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_edges_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", (2, 1))
+        with pytest.raises(ValueError):
+            Histogram("bad", ())
+
+    def test_observe_assigns_buckets_inclusively(self):
+        # Bucket i holds edges[i-1] < x <= edges[i]; overflow past the end.
+        hist = Histogram("h", (0, 1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 2, 1]
+        assert hist.total == 6
+        assert hist.sum == 15
+        assert (hist.minimum, hist.maximum) == (0, 5)
+        assert hist.mean == pytest.approx(2.5)
+
+    def test_observe_many_matches_observe(self):
+        values = [0, 0, 1, 3, 7, 7, 9, 1000, 2000]
+        serial = Histogram("a", COUNT_BUCKETS)
+        for value in values:
+            serial.observe(value)
+        batched = Histogram("b", COUNT_BUCKETS)
+        batched.observe_many(np.asarray(values))
+        assert batched.counts == serial.counts
+        assert batched.total == serial.total
+        assert batched.sum == serial.sum
+        assert (batched.minimum, batched.maximum) == (serial.minimum, serial.maximum)
+
+    def test_observe_many_empty_is_noop(self):
+        hist = Histogram("h", (1, 2))
+        hist.observe_many([])
+        assert hist.total == 0 and hist.minimum is None
+
+    def test_merge_requires_identical_edges(self):
+        a = Histogram("h", (1, 2))
+        b = Histogram("h", (1, 3))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_adds_everything(self):
+        a = Histogram("h", (1, 2, 4))
+        b = Histogram("h", (1, 2, 4))
+        a.observe(1)
+        b.observe(3)
+        b.observe(100)
+        a.merge(b)
+        assert a.total == 3
+        assert a.sum == 104
+        assert (a.minimum, a.maximum) == (1, 100)
+        assert sum(a.counts) == 3
+
+
+class TestRegistry:
+    def test_histogram_edge_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1, 3))
+        # Same edges is fine and returns the cached instrument.
+        assert registry.histogram("h", (1, 2)) is registry.histograms["h"]
+
+    def test_merge_folds_instruments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("runs_total").inc(2)
+        b.counter("runs_total").inc(3)
+        b.counter("only_in_b").inc()
+        b.gauge("g").set(7)
+        b.histogram("h", (1, 2)).observe(1)
+        a.merge(b)
+        assert a.counters["runs_total"].value == 5
+        assert a.counters["only_in_b"].value == 1
+        assert a.gauges["g"].value == 7
+        assert a.histograms["h"].total == 1
+
+    def test_dict_round_trip_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total").inc(9)
+        registry.gauge("g").set(0.5)
+        hist = registry.histogram("slots", SLOT_BUCKETS)
+        hist.observe_many([1, 17, 40000])
+        snapshot = json.loads(json.dumps(registry.to_dict()))
+        clone = MetricsRegistry.from_dict(snapshot)
+        assert clone.to_dict() == registry.to_dict()
+
+    def test_empty_round_trip(self):
+        assert MetricsRegistry.from_dict({}).to_dict() == MetricsRegistry().to_dict()

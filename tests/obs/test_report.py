@@ -1,0 +1,81 @@
+"""Report rendering from run logs and metric snapshots."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, SLOT_BUCKETS
+from repro.obs.report import (
+    render_metrics,
+    render_report,
+    render_timings,
+    report_from_file,
+)
+from repro.obs.runlog import RunLogger
+from repro.obs.timings import Timings
+
+
+def test_render_timings_empty_and_filled():
+    assert "(empty)" in render_timings(Timings())
+    timings = Timings()
+    timings.add("engine.step", 1.5, count=3)
+    output = render_timings(timings)
+    assert "engine.step" in output and "seconds" in output
+
+
+def test_render_metrics_tables_and_sparklines():
+    metrics = MetricsRegistry()
+    metrics.counter("runs_total").inc(5)
+    metrics.gauge("depth").set(2)
+    metrics.histogram("slots_to_completion", SLOT_BUCKETS).observe_many(
+        [3, 9, 17, 100]
+    )
+    output = render_metrics(metrics)
+    assert "runs_total" in output
+    assert "counter" in output and "gauge" in output
+    assert "slots_to_completion" in output
+    assert "histograms" in output
+
+
+def test_render_report_empty():
+    assert "empty" in render_report([])
+
+
+def test_report_from_file_covers_all_sections(tmp_path):
+    metrics = MetricsRegistry()
+    metrics.counter("engine_slots").inc(12)
+    timings = Timings()
+    timings.add("pool.queue_wait", 0.01)
+    timings.add("pool.execute", 0.2)
+    path = tmp_path / "log.jsonl"
+    with RunLogger(path, run_id="feed") as log:
+        log.event("sweep_started", name="demo", points=2)
+        log.event("point_cache_hit", index=0, label="cached-point")
+        log.event("point_spawned", index=1, label="run-point", attempt=1)
+        log.event(
+            "point_completed",
+            index=1,
+            label="run-point",
+            attempt=1,
+            mean_time=33.5,
+            timings=timings.to_dict(),
+            metrics=metrics.to_dict(),
+        )
+        log.event("run_completed", algorithm="bgi", engine="reference",
+                  seed=4, n=30, time=41, completed=True)
+        log.event("sweep_completed", name="demo", executed=1, from_cache=1)
+    output = report_from_file(path)
+    assert "lifecycle events" in output
+    assert "sweep points" in output
+    assert "cached-point" in output and "run-point" in output
+    assert "runs" in output and "bgi" in output
+    assert "stage timings (aggregated)" in output
+    assert "metrics (aggregated)" in output
+    assert "engine_slots" in output
+
+
+def test_report_marks_failed_points(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with RunLogger(path, run_id="deed") as log:
+        log.event("point_spawned", index=0, label="doomed", attempt=1)
+        log.event("point_failed", index=0, label="doomed", attempts=2)
+    output = report_from_file(path)
+    assert "FAILED" in output and "doomed" in output

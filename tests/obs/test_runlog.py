@@ -1,0 +1,136 @@
+"""JSONL run-log writer and schema validator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.runlog import (
+    RunLogger,
+    RunlogError,
+    assert_valid_runlog,
+    default_runlog_path,
+    new_run_id,
+    read_runlog,
+    validate_runlog,
+)
+
+
+def test_logger_writes_envelope_per_event(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with RunLogger(path, run_id="abc123") as log:
+        record = log.event("run_started", seed=7)
+        log.event("run_completed", time=41)
+    assert record["run_id"] == "abc123"
+    events = read_runlog(path)
+    assert [e["event"] for e in events] == ["run_started", "run_completed"]
+    for event in events:
+        assert set(event) >= {"ts", "event", "run_id", "git_sha"}
+    assert events[0]["seed"] == 7
+    assert events[1]["time"] == 41
+
+
+def test_logger_clamps_backwards_clock(tmp_path):
+    ticks = iter([100.0, 50.0, 200.0])
+    with RunLogger(tmp_path / "log.jsonl", clock=lambda: next(ticks)) as log:
+        first = log.event("a")
+        second = log.event("b")
+        third = log.event("c")
+    # The wall clock stepped back; the log must stay monotone.
+    assert first["ts"] == 100.0
+    assert second["ts"] == 100.0
+    assert third["ts"] == 200.0
+
+
+def test_append_mode_keeps_prior_runs(tmp_path):
+    path = tmp_path / "shared.jsonl"
+    with RunLogger(path, run_id="one") as log:
+        log.event("run_started")
+    with RunLogger(path, run_id="two") as log:
+        log.event("run_started")
+    events = read_runlog(path)
+    assert [e["run_id"] for e in events] == ["one", "two"]
+    assert validate_runlog(events) == []
+
+
+def test_read_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ts": 1}\nnot json\n')
+    with pytest.raises(RunlogError, match="line|JSON|2"):
+        read_runlog(path)
+
+
+def test_read_rejects_non_object_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("[1, 2]\n")
+    with pytest.raises(RunlogError, match="not a JSON object"):
+        read_runlog(path)
+
+
+def _event(kind, ts, run="r", **fields):
+    return {"ts": ts, "event": kind, "run_id": run, "git_sha": "deadbee", **fields}
+
+
+class TestValidation:
+    def test_clean_sweep_lifecycle_passes(self):
+        events = [
+            _event("sweep_started", 1.0, points=2),
+            _event("point_cache_hit", 1.1, index=0),
+            _event("point_spawned", 1.2, index=1),
+            _event("point_completed", 2.0, index=1),
+            _event("sweep_completed", 2.1),
+        ]
+        assert validate_runlog(events) == []
+
+    def test_missing_envelope_field_reported(self):
+        events = [{"ts": 1.0, "event": "run_started", "run_id": "r"}]
+        errors = validate_runlog(events)
+        assert len(errors) == 1 and "git_sha" in errors[0]
+
+    def test_backwards_timestamp_reported_per_run(self):
+        events = [_event("a", 2.0), _event("b", 1.0)]
+        assert any("backwards" in e for e in validate_runlog(events))
+        # Interleaved runs each keep their own clock.
+        interleaved = [_event("a", 2.0, run="x"), _event("a", 1.0, run="y"),
+                       _event("b", 3.0, run="x"), _event("b", 1.5, run="y")]
+        assert validate_runlog(interleaved) == []
+
+    def test_orphan_point_event_reported(self):
+        events = [_event("point_completed", 1.0, index=3)]
+        errors = validate_runlog(events)
+        assert any("orphan" in e for e in errors)
+
+    def test_spawned_point_must_terminate(self):
+        events = [_event("point_spawned", 1.0, index=0)]
+        errors = validate_runlog(events)
+        assert any("never reached" in e for e in errors)
+
+    def test_retry_then_failure_is_terminal(self):
+        events = [
+            _event("point_spawned", 1.0, index=0),
+            _event("point_timed_out", 2.0, index=0),
+            _event("point_retried", 2.1, index=0),
+            _event("point_spawned", 2.2, index=0),
+            _event("point_failed", 3.0, index=0),
+        ]
+        assert validate_runlog(events) == []
+
+
+def test_assert_valid_runlog_raises_with_violations(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text(json.dumps(_event("point_completed", 1.0, index=0)) + "\n")
+    with pytest.raises(RunlogError, match="schema violation"):
+        assert_valid_runlog(path)
+
+
+def test_default_runlog_path_shape(tmp_path):
+    path = default_runlog_path("sweep", directory=tmp_path)
+    assert path.parent == tmp_path
+    assert path.name.startswith("sweep-") and path.suffix == ".jsonl"
+
+
+def test_new_run_id_is_hexish_and_unique():
+    a, b = new_run_id(), new_run_id()
+    assert a != b and len(a) == 12
+    int(a, 16)  # parses as hex

@@ -1,0 +1,67 @@
+"""Stage-timer accumulator units."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.timings import Timings
+
+
+def test_add_accumulates_seconds_and_counts():
+    timings = Timings()
+    timings.add("engine.step", 0.25)
+    timings.add("engine.step", 0.75, count=3)
+    assert timings.seconds("engine.step") == 1.0
+    assert timings.count("engine.step") == 4
+    assert timings.seconds("never") == 0.0
+    assert timings.count("never") == 0
+
+
+def test_time_context_manager_records_even_on_error():
+    timings = Timings()
+    try:
+        with timings.time("point.build"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert timings.count("point.build") == 1
+    assert timings.seconds("point.build") >= 0.0
+
+
+def test_bool_is_emptiness():
+    timings = Timings()
+    assert not timings
+    timings.add("s", 0.0)
+    assert timings
+
+
+def test_merge_timings_and_dict_forms():
+    a = Timings()
+    a.add("engine.step", 1.0, count=2)
+    b = Timings()
+    b.add("engine.step", 0.5)
+    b.add("pool.execute", 2.0)
+    a.merge(b)
+    a.merge({"pool.execute": {"seconds": 1.0, "count": 3}})
+    assert a.seconds("engine.step") == 1.5
+    assert a.count("engine.step") == 3
+    assert a.seconds("pool.execute") == 3.0
+    assert a.count("pool.execute") == 4
+
+
+def test_dict_round_trip_is_json_safe():
+    timings = Timings()
+    timings.add("engine.coins", 0.125, count=10)
+    timings.add("engine.channel", 0.5, count=10)
+    snapshot = json.loads(json.dumps(timings.to_dict()))
+    clone = Timings.from_dict(snapshot)
+    assert clone.to_dict() == timings.to_dict()
+
+
+def test_render_rows_slowest_first():
+    timings = Timings()
+    timings.add("fast", 0.1, count=2)
+    timings.add("slow", 5.0, count=1)
+    rows = timings.render_rows()
+    assert [row[0] for row in rows] == ["slow", "fast"]
+    assert rows[0][2] == 1  # count column

@@ -14,8 +14,8 @@ import numpy as np
 import pytest
 
 from repro.sim.coins import (
-    NODE_STREAM_TEMPLATE,
     CoinSource,
+    NODE_STREAM_TEMPLATE,
     NodeRandom,
     coin_uniform,
     derive_node_rng,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.messages import SOURCE_PAYLOAD, Message, source_message
+from repro.sim.messages import Message, SOURCE_PAYLOAD, source_message
 from repro.sim.trace import StepRecord, Trace, TraceLevel
 
 

@@ -1,0 +1,183 @@
+"""Sweep observability: runlogs, payload instrumentation, cache purity.
+
+The cache is the load-bearing concern: instrumented payloads carry
+``timings``/``metrics``, but what reaches disk must be byte-identical to
+an uninstrumented sweep — observability must never invalidate or pollute
+cached results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.runlog import RunLogger, assert_valid_runlog, read_runlog
+from repro.sweep import (
+    ResultCache,
+    SweepExecutionError,
+    SweepSpec,
+    canonical_json,
+    run_sweep,
+)
+
+SMALL_SPEC = dict(
+    name="obs-unit",
+    topology="layered",
+    algorithm="kp-known-d",
+    topology_grid={"n": [12, 18], "depth": 3},
+    algorithm_grid={"stage_constant": 4},
+    trials=2,
+)
+
+FAILING_SPEC = dict(
+    name="obs-doomed",
+    topology="path",
+    algorithm="kp-known-d",
+    topology_grid={"n": [6]},
+    # Unknown parameter: rejected at algorithm build time, never retried.
+    algorithm_grid={"bogus_param": 1},
+    trials=1,
+)
+
+
+class TestInstrumentedPayloads:
+    def test_payloads_carry_timings_and_metrics(self):
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC), instrument=True)
+        assert len(outcome.results) == 2
+        for result in outcome.results:
+            payload = result.payload
+            assert "timings" in payload and "metrics" in payload
+            stages = set(payload["timings"])
+            assert {"point.build", "point.run", "engine.step"} <= stages
+            counters = payload["metrics"]["counters"]
+            assert counters["runs_total"] == SMALL_SPEC["trials"]
+            assert counters["runs_completed"] == SMALL_SPEC["trials"]
+
+    def test_uninstrumented_payloads_stay_clean(self):
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC))
+        for result in outcome.results:
+            assert "timings" not in result.payload
+            assert "metrics" not in result.payload
+
+    def test_instrumentation_does_not_change_results(self):
+        plain = run_sweep(SweepSpec(**SMALL_SPEC))
+        instrumented = run_sweep(SweepSpec(**SMALL_SPEC), instrument=True)
+
+        def strip(payload):
+            return {k: v for k, v in payload.items()
+                    if k not in ("timings", "metrics")}
+
+        assert [strip(r.payload) for r in instrumented.results] == [
+            strip(r.payload) for r in plain.results
+        ]
+
+    def test_pooled_instrumented_sweep(self):
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC), workers=2, instrument=True)
+        for result in outcome.results:
+            assert "timings" in result.payload
+            assert result.payload["timings"]["pool.execute"]["count"] >= 1
+
+
+class TestCachePurity:
+    def test_cache_files_never_contain_observability(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=cache, instrument=True)
+        stored = list(tmp_path.rglob("*.json"))
+        assert stored
+        for path in stored:
+            data = json.loads(path.read_text())
+            assert "timings" not in data
+            assert "metrics" not in data
+
+    def test_instrumented_and_plain_sweeps_share_cache_bytes(self, tmp_path):
+        plain_dir, obs_dir = tmp_path / "plain", tmp_path / "obs"
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=ResultCache(plain_dir))
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=ResultCache(obs_dir),
+                  instrument=True)
+        plain_files = sorted(p.relative_to(plain_dir)
+                             for p in plain_dir.rglob("*.json"))
+        obs_files = sorted(p.relative_to(obs_dir)
+                           for p in obs_dir.rglob("*.json"))
+        assert plain_files == obs_files
+        for rel in plain_files:
+            assert (plain_dir / rel).read_bytes() == (obs_dir / rel).read_bytes()
+
+    def test_warm_rerun_hits_cache_and_logs_it(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=cache, instrument=True)
+        log_path = tmp_path / "warm.jsonl"
+        with RunLogger(log_path) as runlog:
+            outcome = run_sweep(SweepSpec(**SMALL_SPEC), cache=cache,
+                                instrument=True, runlog=runlog)
+        assert outcome.from_cache == 2 and outcome.executed == 0
+        kinds = [e["event"] for e in assert_valid_runlog(log_path)]
+        assert kinds.count("point_cache_hit") == 2
+        assert "point_spawned" not in kinds
+
+
+class TestRunlogEvents:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_cold_sweep_lifecycle_is_schema_valid(self, tmp_path, workers):
+        log_path = tmp_path / "cold.jsonl"
+        with RunLogger(log_path) as runlog:
+            run_sweep(SweepSpec(**SMALL_SPEC), workers=workers, runlog=runlog)
+        events = assert_valid_runlog(log_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_completed"
+        assert kinds.count("point_spawned") == 2
+        assert kinds.count("point_completed") == 2
+        completed = [e for e in events if e["event"] == "point_completed"]
+        for event in completed:
+            assert "label" in event and "mean_time" in event
+            # A runlog alone (no --metrics) still times the pool stages.
+            assert "pool.execute" in event["timings"]
+
+    def test_instrumented_completions_embed_metrics(self, tmp_path):
+        log_path = tmp_path / "inst.jsonl"
+        with RunLogger(log_path) as runlog:
+            run_sweep(SweepSpec(**SMALL_SPEC), instrument=True, runlog=runlog)
+        events = assert_valid_runlog(log_path)
+        completed = [e for e in events if e["event"] == "point_completed"]
+        assert completed
+        for event in completed:
+            assert event["metrics"]["counters"]["runs_total"] == 2
+            assert "point.run" in event["timings"]
+
+    def test_failed_points_reach_terminal_events(self, tmp_path):
+        log_path = tmp_path / "fail.jsonl"
+        with RunLogger(log_path) as runlog:
+            with pytest.raises(SweepExecutionError):
+                run_sweep(SweepSpec(**FAILING_SPEC), runlog=runlog)
+        events = assert_valid_runlog(log_path)
+        kinds = [e["event"] for e in events]
+        assert "point_failed" in kinds
+        assert kinds[-1] == "sweep_completed"
+
+
+class TestFailureContext:
+    def test_error_message_names_spec_and_attempts(self):
+        spec = SweepSpec(**FAILING_SPEC)
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep(spec)
+        message = str(excinfo.value)
+        assert "after 1 attempt(s)" in message
+        # The failing point's canonical spec dict is embedded verbatim.
+        assert canonical_json(spec.points()[0].canonical()) in message
+        # Programmatic failures stay label -> error string.
+        failures = excinfo.value.failures
+        assert list(failures) == [spec.points()[0].label()]
+
+    def test_retried_failures_report_attempt_total(self, monkeypatch):
+        import repro.sweep.runner as runner
+
+        def always_down(canonical):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(runner, "execute_point", always_down)
+        spec = SweepSpec(**SMALL_SPEC)
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_sweep(spec, retries=1)
+        assert "after 2 attempt(s)" in str(excinfo.value)
+        assert "synthetic failure" in str(excinfo.value)

@@ -201,3 +201,46 @@ def test_sweep_with_faults_and_timeout(tmp_path, capsys):
     # which counts the crash exactly once.
     assert point["fault_totals"]["crashed_nodes"] == point["runs"] == 1
     assert point["completed"] == 0  # the crash partitions the path
+
+
+def test_run_with_metrics_and_runlog(tmp_path, capsys):
+    log = tmp_path / "run.jsonl"
+    code = main(["run", "--topology", "path", "--n", "8", "--algorithm",
+                 "round-robin", "--metrics", "--log-jsonl", str(log)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "stage timings" in out
+    assert "engine_slots" in out
+    from repro.obs.runlog import assert_valid_runlog
+
+    events = assert_valid_runlog(log)
+    assert [e["event"] for e in events] == ["run_started", "run_completed"]
+    assert events[1]["metrics"]["counters"]["runs_total"] == 1
+
+
+def test_sweep_with_metrics_and_report(tmp_path, capsys):
+    log = tmp_path / "sweep.jsonl"
+    code = main(["sweep", "--quick", "--cache-dir", str(tmp_path / "cache"),
+                 "--metrics", "--log-jsonl", str(log)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "stage timings" in out and "run log written" in out
+    from repro.obs.runlog import assert_valid_runlog
+
+    kinds = [e["event"] for e in assert_valid_runlog(log)]
+    assert kinds[0] == "sweep_started" and kinds[-1] == "sweep_completed"
+
+    code = main(["report", str(log)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "lifecycle events" in out
+    assert "sweep points" in out
+
+
+def test_report_rejects_missing_or_invalid_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["report", str(tmp_path / "nope.jsonl")])
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    with pytest.raises(SystemExit):
+        main(["report", str(bad)])

@@ -3,8 +3,6 @@ end-to-end reproducibility properties."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines import (
     BGIBroadcast,
     CentralizedGreedySchedule,
