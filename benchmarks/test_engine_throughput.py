@@ -1,40 +1,55 @@
 """Engine throughput benchmarks (library performance tracking).
 
-Not a paper claim — these keep the two engines honest as software: the
-reference engine must sustain interactive protocols on thousands of
-nodes, and the fast engine must make the E1/E2 parameter sweeps cheap.
-pytest-benchmark records wall times so regressions show up in CI diffs.
+Not a paper claim — these keep the engines honest as software.  The
+engine workloads come from the shared benchmark registry
+(:mod:`repro.obs.suite`), so the numbers pytest-benchmark records here
+track the same thunks that ``repro bench`` appends to the
+``BENCH_trajectory.jsonl`` trajectory.  Workloads with no registry
+equivalent (interactive per-node protocols, engine setup cost, the
+batched-vs-serial differential) stay defined locally.
 """
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.analysis import render_table
-from repro.baselines import BGIBroadcast, RoundRobinBroadcast
+from repro.baselines import RoundRobinBroadcast
 from repro.core import KnownRadiusKP, SelectAndSend
-from repro.sim import repeat_broadcast, run_broadcast, run_broadcast_fast
+from repro.obs.suite import default_registry
+from repro.sim import repeat_broadcast, run_broadcast
 from repro.topology import gnp_connected, km_hard_layered
+
+#: Registry entries exercised through pytest-benchmark (quick variants —
+#: the full workloads belong to ``repro bench``).
+REGISTRY_BENCHES = [
+    "reference_engine",
+    "fast_engine",
+    "batched_engine",
+    "topology_generation",
+    "universal_sequence",
+]
+
+
+@pytest.mark.parametrize("name", REGISTRY_BENCHES)
+def test_registry_workload(benchmark, name):
+    """One registered workload per test, built once, timed by the fixture."""
+    bench = default_registry().get(name)
+    thunk = bench.build(True)
+    benchmark(thunk)
 
 
 def test_reference_engine_interactive_protocol(benchmark):
-    """Select-and-Send on a 300-node G(n, p): dict-driven protocols."""
+    """Select-and-Send on a 300-node G(n, p): dict-driven protocols.
+
+    Not in the registry — interactive protocols can't run on the
+    vectorised engines, and the registry's reference entry pins an
+    oblivious workload.
+    """
     net = gnp_connected(300, 0.03, seed=9)
     result = benchmark(lambda: run_broadcast(net, SelectAndSend(), require_completion=True))
-    assert result.completed
-
-
-def test_reference_engine_oblivious_protocol(benchmark):
-    """Round-robin on the same network through the per-node engine."""
-    net = gnp_connected(300, 0.03, seed=9)
-    result = benchmark(lambda: run_broadcast(net, RoundRobinBroadcast(net.r)))
-    assert result.completed
-
-
-def test_fast_engine_randomized_sweep_unit(benchmark):
-    """One KM-hard BGI run at n=2048 — the unit of the E1/E2 sweeps."""
-    net = km_hard_layered(2048, 128, seed=3)
-    result = benchmark(lambda: run_broadcast_fast(net, BGIBroadcast(net.r), seed=1))
     assert result.completed
 
 

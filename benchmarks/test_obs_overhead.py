@@ -8,6 +8,11 @@ must stay bit-identical — instrumentation observes, never perturbs —
 and the measured overhead ratio is recorded so future PRs inherit a
 perf trajectory rather than a single anecdote.
 
+The workload and timing protocol come from the shared benchmark
+registry (:mod:`repro.obs.suite` / :mod:`repro.obs.bench`): the
+``batched_engine`` and ``obs_overhead`` entries that ``repro bench``
+runs measure exactly what this test measures.
+
 Wall-clock assertions against the committed baseline only run when
 ``REPRO_BENCH_STRICT=1`` (dedicated benchmark hardware); shared CI
 runners are too noisy for a 3% bound, so there the baseline is
@@ -19,58 +24,50 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import time
 
 from repro.analysis import render_table
-from repro.core import KnownRadiusKP
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.runlog import git_sha
-from repro.sim import repeat_broadcast
-from repro.topology import km_hard_layered
+from repro.obs.bench import Benchmark, environment_fingerprint, run_benchmark
+from repro.obs.suite import batched_workload, obs_overhead_workload
 
 BENCH_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
 
-TRIALS = 1000
 REPEATS = 3  # best-of to shave scheduler noise
 
 
-def _best_of(thunk):
-    best, results = float("inf"), None
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        outcome = thunk()
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best, results = elapsed, outcome
-    return best, results
-
-
 def test_metrics_overhead_and_bench_baseline(table_reporter):
-    net = km_hard_layered(128, 32, seed=17)
-    algorithm = KnownRadiusKP(net.r, 32)
+    _, _, trials = batched_workload(quick=False)
+    plain, instrumented = obs_overhead_workload(quick=False)
 
-    off_s, plain = _best_of(
-        lambda: repeat_broadcast(net, algorithm, runs=TRIALS, engine="batch")
+    # Instrumentation must never change what the engine computes.  These
+    # two calls double as the warmup for the timed runs below.
+    plain_results = plain()
+    instrumented_results = instrumented()
+    assert [r.time for r in instrumented_results] == [r.time for r in plain_results]
+    assert [r.wake_times for r in instrumented_results] == [
+        r.wake_times for r in plain_results
+    ]
+
+    env = environment_fingerprint()
+    off_record = run_benchmark(
+        Benchmark("obs_overhead_off", lambda quick: plain,
+                  repeats=REPEATS, warmup=0),
+        env=env,
     )
-
-    metrics = MetricsRegistry()
-    on_s, instrumented = _best_of(
-        lambda: repeat_broadcast(net, algorithm, runs=TRIALS, engine="batch",
-                                 metrics=metrics)
+    on_record = run_benchmark(
+        Benchmark("obs_overhead_on", lambda quick: instrumented,
+                  repeats=REPEATS, warmup=0),
+        env=env,
     )
+    off_s, on_s = off_record["min_s"], on_record["min_s"]
 
-    # Instrumentation must never change what the engine computes.
-    assert [r.time for r in instrumented] == [r.time for r in plain]
-    assert [r.wake_times for r in instrumented] == [r.wake_times for r in plain]
-
-    slots = sum(r.time for r in plain)
+    slots = sum(r.time for r in plain_results)
     overhead = on_s / off_s
     record = {
         "bench": "obs-overhead",
-        "git_sha": git_sha(),
+        "git_sha": env["git_sha"],
         "network": "km_hard_layered(128, 32, seed=17)",
         "algorithm": "kp-known-d(stage_constant=32)",
-        "trials": TRIALS,
+        "trials": trials,
         "trial_slots": slots,
         "metrics_off_s": round(off_s, 4),
         "metrics_on_s": round(on_s, 4),
@@ -92,7 +89,7 @@ def test_metrics_overhead_and_bench_baseline(table_reporter):
                 ["metrics on", f"{on_s:.3f}", f"{slots / on_s:.0f}"],
                 ["overhead", f"{overhead:.2f}x", ""],
             ],
-            title=f"BatchedFastEngine, {TRIALS} trials ({slots} trial-slots)",
+            title=f"BatchedFastEngine, {trials} trials ({slots} trial-slots)",
         ),
     )
 
@@ -100,7 +97,10 @@ def test_metrics_overhead_and_bench_baseline(table_reporter):
     BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
     # Per-slot instrumentation on a batched engine is real work (histogram
-    # observes over 1000-row arrays); it must stay bounded, not free.
+    # observes over 1000-row arrays); it must stay bounded, not free.  The
+    # buffered collision flush brought the measured ratio well under this
+    # ceiling; the registry's obs_overhead tolerance (1.25x) guards the
+    # tighter target on the trajectory side.
     assert overhead < 2.0, f"instrumentation overhead {overhead:.2f}x"
 
     if baseline is not None and os.environ.get("REPRO_BENCH_STRICT") == "1":

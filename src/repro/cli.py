@@ -13,8 +13,15 @@ Subcommands:
 * ``sweep`` — expand a declarative sweep spec (topology grid × algorithm
   × trials), run the points on the batched engine across worker
   processes, and cache per-point results on disk.
-* ``report`` — render a JSONL run log (``--log-jsonl``) back into
-  lifecycle, timing, and metric tables (see ``docs/OBSERVABILITY.md``).
+* ``report`` — render a JSONL run log (``--log-jsonl``) or a benchmark
+  trajectory back into tables, or ``--json`` for machines (see
+  ``docs/OBSERVABILITY.md``).
+* ``bench`` — run the registered benchmark suite under the pinned timing
+  protocol, append to ``BENCH_trajectory.jsonl``, and compare against the
+  committed per-bench baselines.
+* ``profile`` — cProfile a run, a sweep (per-point, across the worker
+  pool), or a registered benchmark; prints a pstats top-N table and can
+  export callgrind files for KCachegrind.
 * ``universal`` — build and check a universal sequence (Lemma 1).
 
 Examples::
@@ -30,6 +37,12 @@ Examples::
     repro sweep --spec my_sweep.json --faults plan.json --timeout 120 --retries 2
     repro sweep --quick --metrics --log-jsonl sweep.jsonl
     repro report sweep.jsonl
+    repro report benchmarks/results/BENCH_trajectory.jsonl --json
+    repro bench --quick --compare
+    repro bench --filter engine --update-baseline
+    repro profile run --topology km-layered --n 256 --algorithm kp --trials 20
+    repro profile sweep --quick --workers 2 --callgrind sweep.callgrind
+    repro profile bench batched_engine --quick --top 15
     repro universal --r 65536 --d 16384
 """
 
@@ -337,6 +350,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from .obs import RunLogger
 
         runlog = RunLogger(args.log_jsonl)
+    metrics = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        # The runner folds every executed point's snapshot into this
+        # registry and sets the sweep-level gauges on it.
+        metrics = MetricsRegistry()
     try:
         outcome = run_sweep(
             spec,
@@ -346,6 +366,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             instrument=args.metrics,
             runlog=runlog,
+            metrics=metrics,
         )
     except SimulationError as exc:
         # Covers bad configurations and SweepExecutionError — points that
@@ -364,19 +385,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if cache is not None:
             print(f"cache: {cache.root}")
     if args.metrics:
-        from .obs import MetricsRegistry, Timings
+        from .obs import Timings
         from .obs.report import render_metrics, render_timings
 
         timings = Timings()
-        metrics = MetricsRegistry()
         for result in outcome.results:
             if result.payload.get("timings"):
                 timings.merge(result.payload["timings"])
-            if result.payload.get("metrics"):
-                metrics.merge(MetricsRegistry.from_dict(result.payload["metrics"]))
         if timings:
             print(render_timings(timings, title="stage timings (executed points)"))
-        if metrics.counters or metrics.histograms:
+        if metrics.counters or metrics.gauges or metrics.histograms:
             print(render_metrics(metrics, title="metrics (executed points)"))
     if runlog is not None:
         print(f"run log written to {runlog.path}")
@@ -384,15 +402,207 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .obs.report import report_from_file
+    import json
+
+    from .obs.report import report_from_file, report_json_from_file
     from .obs.runlog import RunlogError
 
     try:
-        print(report_from_file(args.runlog))
+        if args.json:
+            print(json.dumps(report_json_from_file(args.runlog), indent=1,
+                             sort_keys=True))
+        else:
+            print(report_from_file(args.runlog))
     except OSError as exc:
         raise SystemExit(f"cannot read run log: {exc}")
     except RunlogError as exc:
         raise SystemExit(f"bad run log: {exc}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import bench as bench_mod
+    from .obs.suite import default_registry  # importing registers the suite
+
+    registry = default_registry()
+    if args.list:
+        rows = [[b.name, ",".join(b.tags), f"{b.tolerance:.2f}x", b.description]
+                for b in registry]
+        print(render_table(["bench", "tags", "tolerance", "description"], rows,
+                           title="registered benchmarks"))
+        return 0
+    benches = registry.select(args.filter)
+    if not benches:
+        raise SystemExit(
+            f"no benchmark matches {args.filter!r}; "
+            f"registered: {sorted(b.name for b in registry)}"
+        )
+    env = bench_mod.environment_fingerprint()
+    records = []
+    for bench in benches:
+        if not args.json:
+            print(f"bench {bench.name} ...", flush=True)
+        record = bench_mod.run_benchmark(bench, quick=args.quick, env=env)
+        records.append(record)
+        bench_mod.append_trajectory(record, args.results_dir)
+        if args.update_baseline:
+            bench_mod.write_baseline(record, args.results_dir)
+
+    comparisons = (
+        bench_mod.compare_all(records, args.results_dir) if args.compare else None
+    )
+    if args.json:
+        document = {"records": records}
+        if comparisons is not None:
+            document["comparisons"] = [
+                {"bench": c.bench, "status": c.status, "ratio": c.ratio}
+                for c in comparisons
+            ]
+        print(json.dumps(document, indent=1, sort_keys=True))
+    else:
+        rows = []
+        for i, record in enumerate(records):
+            row = [
+                record["bench"],
+                f"{record['min_s']:.4f}",
+                f"{record['median_s']:.4f}",
+                record["repeats"],
+            ]
+            if comparisons is not None:
+                comparison = comparisons[i]
+                row.extend([
+                    "-" if comparison.baseline is None
+                    else f"{comparison.baseline['min_s']:.4f}",
+                    "-" if comparison.ratio is None else f"{comparison.ratio:.3f}x",
+                    comparison.status,
+                ])
+            rows.append(row)
+        headers = ["bench", "min (s)", "median (s)", "repeats"]
+        if comparisons is not None:
+            headers += ["baseline (s)", "ratio", "status"]
+        mode = "quick" if args.quick else "full"
+        print(render_table(headers, rows,
+                           title=f"benchmark suite ({mode}, git {env['git_sha']})"))
+        print(f"trajectory: {bench_mod.trajectory_path(args.results_dir)}")
+        if args.update_baseline:
+            print(f"baselines updated under "
+                  f"{bench_mod.baseline_path('*', args.results_dir).parent}")
+
+    if comparisons is not None:
+        regressions = [c for c in comparisons if c.regressed]
+        for comparison in regressions:
+            print(f"REGRESSION: {comparison.describe()}", file=sys.stderr)
+        if regressions and bench_mod.strict_mode():
+            return 1
+        if regressions:
+            print(
+                f"({len(regressions)} regression(s) — warning only; set "
+                f"{bench_mod.STRICT_ENV_VAR}=1 to fail)",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _profile_report(args: argparse.Namespace, stats) -> None:
+    """Shared tail of every ``repro profile`` subcommand."""
+    from .obs.profile import format_stats, write_callgrind
+
+    print(format_stats(stats, top=args.top, sort=args.sort))
+    if args.callgrind:
+        path = write_callgrind(stats, args.callgrind)
+        print(f"callgrind profile written to {path} (open with kcachegrind)")
+
+
+def _add_profile_report_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows in the pstats table")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "calls"],
+                        help="pstats sort key")
+    parser.add_argument("--callgrind", metavar="FILE",
+                        help="also export the profile in callgrind format")
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    from .obs.profile import profile_call
+    from .sim.errors import SimulationError
+
+    net = _build_topology(args)
+    algorithm = _build_algorithm(args.algorithm, net)
+    try:
+        results, stats = profile_call(
+            lambda: repeat_broadcast(
+                net, algorithm, runs=args.trials, base_seed=args.seed,
+                engine=args.engine, require_completion=False,
+            )
+        )
+    except SimulationError as exc:
+        raise SystemExit(f"profiled run failed: {exc}")
+    completed = sum(1 for r in results if r.completed)
+    print(f"profiled {len(results)} trial(s) of {algorithm.name} on "
+          f"{args.topology} (n={net.n}): {completed}/{len(results)} completed")
+    _profile_report(args, stats)
+    return 0
+
+
+def _cmd_profile_sweep(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .obs.profile import merge_stats_files
+    from .sim.errors import ConfigurationError, SimulationError
+    from .sweep import SweepSpec, run_sweep
+
+    if args.spec:
+        import json
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = SweepSpec.from_dict(json.load(handle))
+        except OSError as exc:
+            raise SystemExit(f"cannot read sweep spec: {exc}")
+        except (json.JSONDecodeError, ConfigurationError) as exc:
+            raise SystemExit(f"bad sweep spec: {exc}")
+    elif args.quick:
+        spec = SweepSpec.from_dict(QUICK_SWEEP)
+    else:
+        raise SystemExit("provide --spec FILE.json or --quick")
+
+    profile_dir = args.profile_dir or tempfile.mkdtemp(prefix="repro-profile-")
+    try:
+        # Uncached on purpose: a cache hit executes nothing worth profiling.
+        outcome = run_sweep(
+            spec, workers=args.workers, cache=None, profile_dir=profile_dir,
+        )
+    except SimulationError as exc:
+        raise SystemExit(f"profiled sweep failed: {exc}")
+    import pathlib
+
+    dumps = sorted(pathlib.Path(profile_dir).glob("*.pstats"))
+    stats = merge_stats_files(dumps)
+    if stats is None:
+        raise SystemExit("profiled sweep produced no profile dumps")
+    print(f"sweep {spec.name!r}: {outcome.executed} point(s) profiled "
+          f"({len(dumps)} dumps under {profile_dir})")
+    _profile_report(args, stats)
+    return 0
+
+
+def _cmd_profile_bench(args: argparse.Namespace) -> int:
+    from .obs.profile import profile_call
+    from .obs.suite import default_registry
+
+    registry = default_registry()
+    try:
+        bench = registry.get(args.name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    thunk = bench.build(args.quick)
+    _, stats = profile_call(thunk)
+    print(f"profiled bench {bench.name!r} "
+          f"({'quick' if args.quick else 'full'} workload, one invocation)")
+    _profile_report(args, stats)
     return 0
 
 
@@ -498,10 +708,76 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser(
-        "report", help="render a JSONL run log as summary tables"
+        "report", help="render a JSONL run log or bench trajectory as tables"
     )
-    p_report.add_argument("runlog", help="run log written by --log-jsonl")
+    p_report.add_argument("runlog",
+                          help="run log written by --log-jsonl, or a "
+                               "BENCH_trajectory.jsonl file")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of tables")
     p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the benchmark suite under the pinned timing protocol"
+    )
+    p_bench.add_argument("--filter", default="",
+                         help="substring matched against bench names and tags")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smaller workloads and fewer repeats")
+    p_bench.add_argument("--compare", action="store_true",
+                         help="compare against committed BENCH_<name>.json "
+                              "baselines (regressions warn; set "
+                              "REPRO_BENCH_STRICT=1 to fail)")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="rewrite each bench's baseline from this run")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list registered benchmarks and exit")
+    p_bench.add_argument("--results-dir", metavar="DIR", default=None,
+                         help="where trajectory/baselines live "
+                              "(default benchmarks/results)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit records and comparisons as JSON")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile a run, a sweep, or a registered benchmark"
+    )
+    prof_sub = p_prof.add_subparsers(dest="profile_command", required=True)
+
+    p_prof_run = prof_sub.add_parser("run", help="profile repeated broadcasts")
+    _add_topology_args(p_prof_run)
+    p_prof_run.add_argument("--algorithm", default="kp", choices=ALGORITHM_CHOICES)
+    p_prof_run.add_argument("--engine", default="auto",
+                            choices=["auto", "batch", "reference"],
+                            help="engine to profile (auto picks batch when "
+                                 "the algorithm is vectorised)")
+    p_prof_run.add_argument("--trials", type=int, default=10)
+    p_prof_run.add_argument("--seed", type=int, default=0)
+    _add_profile_report_args(p_prof_run)
+    p_prof_run.set_defaults(func=_cmd_profile_run)
+
+    p_prof_sweep = prof_sub.add_parser(
+        "sweep", help="profile every executed sweep point (across the pool)"
+    )
+    p_prof_sweep.add_argument("--spec", metavar="FILE",
+                              help="sweep spec JSON (see repro.sweep.SweepSpec)")
+    p_prof_sweep.add_argument("--quick", action="store_true",
+                              help="profile the built-in small smoke sweep")
+    p_prof_sweep.add_argument("--workers", type=int, default=1)
+    p_prof_sweep.add_argument("--profile-dir", metavar="DIR", default=None,
+                              help="keep per-point .pstats dumps here "
+                                   "(default: fresh temp dir)")
+    _add_profile_report_args(p_prof_sweep)
+    p_prof_sweep.set_defaults(func=_cmd_profile_sweep)
+
+    p_prof_bench = prof_sub.add_parser(
+        "bench", help="profile one registered benchmark's workload"
+    )
+    p_prof_bench.add_argument("name", help="benchmark name (see repro bench --list)")
+    p_prof_bench.add_argument("--quick", action="store_true",
+                              help="profile the quick workload variant")
+    _add_profile_report_args(p_prof_bench)
+    p_prof_bench.set_defaults(func=_cmd_profile_bench)
 
     p_uni = sub.add_parser("universal", help="build a Lemma 1 universal sequence")
     p_uni.add_argument("--r", type=int, required=True)

@@ -114,6 +114,23 @@ class Histogram:
         if self.maximum is None or high > self.maximum:
             self.maximum = high
 
+    def observe_repeated(self, value: float, count: int) -> None:
+        """Record ``count`` observations of the same ``value`` at once.
+
+        Exactly equivalent to calling :meth:`observe` ``count`` times
+        (integer-valued sums stay exact); the batched engine uses this to
+        flush its buffered zero-collision slots in O(1).
+        """
+        if count <= 0:
+            return
+        self.counts[bisect_left(self.edges, value)] += count
+        self.total += count
+        self.sum += value * count
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observations (0.0 when empty)."""

@@ -1,0 +1,199 @@
+"""cProfile wrappers: top-N pstats tables and callgrind export.
+
+``repro profile run|sweep|bench`` drives these.  Three pieces:
+
+* :func:`profile_call` — run one callable under :class:`cProfile.Profile`
+  and return ``(result, Stats)``; profiling observes, never perturbs, so
+  the callable's outputs are bit-identical with or without it
+  (``tests/sim/test_instrumentation.py`` asserts this for the engines).
+* :func:`format_stats` — the pstats top-N table as a string, callers
+  pick the sort key (``cumulative`` by default).
+* :func:`write_callgrind` / :func:`parse_callgrind` — export a profile
+  in the callgrind format KCachegrind/QCachegrind load, plus the minimal
+  parser the format test round-trips through.  Costs are integer
+  microseconds (callgrind costs must be integers); call targets are
+  attributed to the caller's definition line, which is the standard
+  pstats-to-callgrind convention (pstats does not retain call sites).
+
+The sweep pool threads a per-point profile hook through its workers
+(``run_sweep(profile_dir=...)``): each executed point dumps
+``<label>.pstats`` into the directory, and :func:`merge_stats_files`
+folds them back into one :class:`pstats.Stats` for attribution across
+the whole grid even under multiprocessing.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pathlib
+import pstats
+import re
+from typing import Callable, Iterable, Mapping
+
+__all__ = [
+    "format_stats",
+    "merge_stats_files",
+    "parse_callgrind",
+    "profile_call",
+    "profile_file_name",
+    "write_callgrind",
+]
+
+#: Allowed pstats sort keys exposed on the CLI.
+SORT_KEYS = ("cumulative", "tottime", "calls", "ncalls", "time")
+
+
+def profile_call(func: Callable[[], object]) -> tuple[object, pstats.Stats]:
+    """Run ``func()`` under cProfile; returns ``(result, stats)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func()
+    finally:
+        profiler.disable()
+    return result, pstats.Stats(profiler)
+
+
+def format_stats(
+    stats: pstats.Stats, top: int = 20, sort: str = "cumulative"
+) -> str:
+    """The pstats report for the ``top`` costliest functions, as a string."""
+    stream = io.StringIO()
+    stats.stream = stream
+    stats.sort_stats(sort).print_stats(top)
+    return stream.getvalue()
+
+
+def profile_file_name(label: str) -> str:
+    """Filesystem-safe ``<label>.pstats`` name for one sweep point."""
+    safe = re.sub(r"[^A-Za-z0-9._=-]+", "_", label).strip("_")
+    return f"{safe or 'point'}.pstats"
+
+
+def merge_stats_files(paths: Iterable[pathlib.Path | str]) -> pstats.Stats | None:
+    """Fold several ``.pstats`` dumps into one profile (None if empty)."""
+    merged: pstats.Stats | None = None
+    for path in paths:
+        if merged is None:
+            merged = pstats.Stats(str(path))
+        else:
+            merged.add(str(path))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Callgrind export
+
+
+def _location(func: tuple) -> tuple[str, int, str]:
+    """Normalise a pstats function key ``(file, line, name)``."""
+    file, line, name = func
+    if file == "~":  # C functions carry no file
+        file = ""
+    return file or "~", int(line), name
+
+
+def write_callgrind(stats: pstats.Stats, path: pathlib.Path | str) -> pathlib.Path:
+    """Write ``stats`` in callgrind format (KCachegrind-compatible).
+
+    Self costs come from ``tt`` (total time excluding subcalls), call
+    arcs from the inverted callers map with the callee's cumulative time
+    attributed to each caller.  Event unit: integer microseconds.
+    """
+    entries: Mapping = stats.stats
+    # pstats stores callee -> {caller: (cc, nc, tt, ct)}; callgrind wants
+    # caller -> calls.  Invert once.
+    calls: dict[tuple, list[tuple[tuple, int, float]]] = {}
+    for callee, (_cc, _nc, _tt, _ct, callers) in entries.items():
+        for caller, caller_stats in callers.items():
+            # Older profile dumps may store a bare float; normalise.
+            if isinstance(caller_stats, tuple):
+                _, ncalls, _, cum = caller_stats
+            else:  # pragma: no cover - legacy pstats layout
+                ncalls, cum = 1, float(caller_stats)
+            calls.setdefault(caller, []).append((callee, int(ncalls), cum))
+
+    lines = [
+        "# callgrind format",
+        "version: 1",
+        "creator: repro.obs.profile",
+        "events: us",
+        "",
+    ]
+    for func in sorted(entries, key=lambda f: _location(f)):
+        _cc, _nc, tt, _ct, _callers = entries[func]
+        file, line, name = _location(func)
+        lines.append(f"fl={file}")
+        lines.append(f"fn={name}")
+        lines.append(f"{line} {int(tt * 1e6)}")
+        for callee, ncalls, cum in sorted(
+            calls.get(func, ()), key=lambda c: _location(c[0])
+        ):
+            cfile, cline, cname = _location(callee)
+            lines.append(f"cfl={cfile}")
+            lines.append(f"cfn={cname}")
+            lines.append(f"calls={ncalls} {cline}")
+            lines.append(f"{line} {int(cum * 1e6)}")
+        lines.append("")
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(lines), encoding="utf-8")
+    return out
+
+
+_COST_LINE = re.compile(r"^(\d+|\*|[+-]\d+)( \d+)+$")
+_CALLS_LINE = re.compile(r"^calls=\d+ \d+$")
+
+
+def parse_callgrind(text: str) -> dict[str, int]:
+    """Minimal KCachegrind-compatible parser: ``function -> self cost``.
+
+    Raises ``ValueError`` on grammar violations — the format test runs
+    every exported file through this, so a file we emit is guaranteed to
+    at least satisfy the callgrind grammar KCachegrind expects:
+    an ``events:`` header, ``fl=``/``fn=`` position scopes before any
+    cost line, integer costs, and every ``calls=`` line immediately
+    followed by a cost line.
+    """
+    events: list[str] | None = None
+    current_fn: str | None = None
+    current_fl: str | None = None
+    pending_call = False
+    costs: dict[str, int] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if events is None:
+            if line.startswith("events:"):
+                events = line.split(":", 1)[1].split()
+                if not events:
+                    raise ValueError(f"line {number}: events header names no events")
+            elif ":" in line and "=" not in line:
+                continue  # other headers (version, creator, ...)
+            else:
+                raise ValueError(f"line {number}: cost data before events header")
+            continue
+        if line.startswith("fl="):
+            current_fl = line[3:]
+        elif line.startswith("fn="):
+            current_fn = line[3:]
+            costs.setdefault(current_fn, 0)
+        elif line.startswith(("cfl=", "cfn=", "cob=", "ob=")):
+            continue
+        elif _CALLS_LINE.match(line):
+            pending_call = True
+        elif _COST_LINE.match(line):
+            if current_fn is None or current_fl is None:
+                raise ValueError(f"line {number}: cost line outside fl=/fn= scope")
+            if not pending_call:
+                costs[current_fn] += int(line.split()[1])
+            pending_call = False
+        else:
+            raise ValueError(f"line {number}: unrecognised callgrind line {raw!r}")
+    if events is None:
+        raise ValueError("no events header found")
+    if pending_call:
+        raise ValueError("dangling calls= line with no cost line")
+    return costs

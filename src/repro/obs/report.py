@@ -27,7 +27,11 @@ __all__ = [
     "render_metrics",
     "render_report",
     "render_timings",
+    "render_trajectory",
     "report_from_file",
+    "report_json_from_file",
+    "runlog_report_data",
+    "trajectory_report_data",
 ]
 
 #: Lifecycle kinds surfaced in the summary table, in display order.
@@ -184,6 +188,114 @@ def render_report(events: Sequence[Mapping]) -> str:
     return "\n\n".join(sections)
 
 
+def runlog_report_data(events: Sequence[Mapping]) -> dict:
+    """Machine-readable form of the runlog report (``repro report --json``)."""
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = event.get("event", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    timings, metrics = _aggregate(events)
+    timestamps = [e["ts"] for e in events if isinstance(e.get("ts"), (int, float))]
+    return {
+        "kind": "runlog",
+        "events": len(events),
+        "run_ids": sorted({str(e.get("run_id", "?")) for e in events}),
+        "git_shas": sorted({str(e.get("git_sha", "?")) for e in events}),
+        "span_s": (max(timestamps) - min(timestamps)) if timestamps else None,
+        "lifecycle": counts,
+        "timings": timings.to_dict(),
+        "metrics": metrics.to_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Benchmark trajectories (``BENCH_trajectory.jsonl``)
+
+
+def _is_trajectory(records: Sequence[Mapping]) -> bool:
+    """Bench-record files carry ``bench``/``times_s`` instead of ``event``."""
+    return bool(records) and all(
+        "bench" in r and "event" not in r for r in records
+    )
+
+
+def _group_by_bench(records: Sequence[Mapping]) -> dict[str, list[Mapping]]:
+    grouped: dict[str, list[Mapping]] = {}
+    for record in records:
+        grouped.setdefault(str(record.get("bench", "?")), []).append(record)
+    return grouped
+
+
+def render_trajectory(records: Sequence[Mapping]) -> str:
+    """One table over a ``BENCH_trajectory.jsonl`` file: per-bench trend.
+
+    ``vs first`` is the latest record's min over the oldest record's min
+    — the cumulative drift across the whole trajectory; the sparkline
+    draws every record's min in file order.
+    """
+    if not records:
+        return "trajectory: empty (no records)"
+    shas = sorted({str(r.get("env", {}).get("git_sha", "?")) for r in records})
+    rows: list[list[object]] = []
+    for name, group in sorted(_group_by_bench(records).items()):
+        mins = [float(r["min_s"]) for r in group if "min_s" in r]
+        if not mins:
+            continue
+        latest = group[-1]
+        first_min, latest_min = mins[0], mins[-1]
+        drift = latest_min / first_min if first_min > 0 else float("inf")
+        rows.append([
+            name,
+            len(group),
+            f"{latest_min:.4f}",
+            f"{float(latest.get('median_s', latest_min)):.4f}",
+            f"{min(mins):.4f}",
+            f"{drift:.2f}x",
+            ascii_sparkline(mins, width=min(24, max(2, len(mins)))),
+        ])
+    header = (
+        f"bench trajectory: {len(records)} records, {len(rows)} bench(es)  "
+        f"git {', '.join(shas)}"
+    )
+    table = render_table(
+        ["bench", "records", "latest min (s)", "latest median (s)",
+         "best (s)", "vs first", "trend"],
+        rows,
+        title="benchmark trajectory (min seconds per record)",
+    )
+    return f"{header}\n\n{table}"
+
+
+def trajectory_report_data(records: Sequence[Mapping]) -> dict:
+    """Machine-readable form of the trajectory report."""
+    benches = {}
+    for name, group in sorted(_group_by_bench(records).items()):
+        mins = [float(r["min_s"]) for r in group if "min_s" in r]
+        benches[name] = {
+            "records": len(group),
+            "min_s": mins,
+            "latest": group[-1],
+        }
+    return {"kind": "trajectory", "records": len(records), "benches": benches}
+
+
+def _read_any(path: pathlib.Path | str) -> tuple[list[dict], bool]:
+    """Parse a JSONL file and classify it: ``(records, is_trajectory)``."""
+    records = read_runlog(path)  # same line-by-line JSON-object grammar
+    return records, _is_trajectory(records)
+
+
 def report_from_file(path: pathlib.Path | str) -> str:
-    """Read a JSONL run log and render the full report."""
-    return render_report(read_runlog(path))
+    """Render a JSONL run log — or a bench trajectory — as tables."""
+    records, is_trajectory = _read_any(path)
+    if is_trajectory:
+        return render_trajectory(records)
+    return render_report(records)
+
+
+def report_json_from_file(path: pathlib.Path | str) -> dict:
+    """Machine-readable report for ``repro report --json``."""
+    records, is_trajectory = _read_any(path)
+    if is_trajectory:
+        return trajectory_report_data(records)
+    return runlog_report_data(records)

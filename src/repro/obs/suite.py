@@ -1,0 +1,171 @@
+"""The default benchmark suite (importing this module registers it).
+
+Each entry couples a pinned workload to the registry's timing protocol;
+``repro bench`` and the pytest benchmarks (``benchmarks/test_*.py``)
+import the *same* definitions, so a workload is declared exactly once.
+The hard layered networks are the Clementi–Monti–Silvestri-style
+instances the paper's sweeps run on, which is what makes these numbers
+meaningful as a trajectory: every record measures the same hot path the
+experiments exercise.
+
+Workload builders do all setup (topology generation, registry
+construction) outside the timed thunk.  ``quick=True`` shrinks every
+workload to CI-smoke size — same code paths, smaller n/trials.
+
+This module imports the simulation stack, so — like
+:mod:`repro.obs.report` — it stays out of ``repro.obs.__init__``.
+"""
+
+from __future__ import annotations
+
+from .bench import DEFAULT_REGISTRY, BenchmarkRegistry, register
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "batched_workload",
+    "default_registry",
+    "obs_overhead_workload",
+]
+
+
+def default_registry() -> BenchmarkRegistry:
+    """The fully-populated default registry (registration is import-time)."""
+    return DEFAULT_REGISTRY
+
+
+def batched_workload(quick: bool = False):
+    """The canonical batched-engine workload: (network, algorithm, trials).
+
+    Shared by the ``batched_engine`` / ``obs_overhead`` benches and
+    ``benchmarks/test_obs_overhead.py`` so the committed ``BENCH_obs``
+    baseline and the registry trajectory measure the same thing.
+    """
+    from ..core import KnownRadiusKP
+    from ..topology import km_hard_layered
+
+    net = km_hard_layered(128, 32, seed=17)
+    algorithm = KnownRadiusKP(net.r, 32)
+    trials = 200 if quick else 1000
+    return net, algorithm, trials
+
+
+def obs_overhead_workload(quick: bool = False):
+    """Thunk pair ``(plain, instrumented)`` for the overhead measurement."""
+    from ..sim import repeat_broadcast
+
+    net, algorithm, trials = batched_workload(quick)
+
+    def plain():
+        return repeat_broadcast(net, algorithm, runs=trials, engine="batch")
+
+    def instrumented():
+        return repeat_broadcast(
+            net, algorithm, runs=trials, engine="batch", metrics=MetricsRegistry()
+        )
+
+    return plain, instrumented
+
+
+@register(
+    "reference_engine",
+    tags=("engine", "reference"),
+    description="Per-node reference engine, round-robin on km_hard_layered",
+)
+def _reference_engine(quick: bool):
+    from ..baselines import RoundRobinBroadcast
+    from ..sim import run_broadcast
+    from ..topology import km_hard_layered
+
+    n, depth = (48, 8) if quick else (96, 16)
+    net = km_hard_layered(n, depth, seed=3)
+    algorithm = RoundRobinBroadcast(net.r)
+    return lambda: run_broadcast(net, algorithm, seed=1)
+
+
+@register(
+    "fast_engine",
+    tags=("engine", "fast"),
+    description="Single-run vectorised engine, BGI Decay on km_hard_layered",
+)
+def _fast_engine(quick: bool):
+    from ..baselines import BGIBroadcast
+    from ..sim import run_broadcast_fast
+    from ..topology import km_hard_layered
+
+    n, depth = (256, 32) if quick else (1024, 64)
+    net = km_hard_layered(n, depth, seed=3)
+    algorithm = BGIBroadcast(net.r)
+    return lambda: run_broadcast_fast(net, algorithm, seed=1)
+
+
+@register(
+    "batched_engine",
+    tags=("engine", "batch"),
+    description="Batched Monte-Carlo engine, KP on km_hard_layered",
+)
+def _batched_engine(quick: bool):
+    from ..sim import repeat_broadcast
+
+    net, algorithm, trials = batched_workload(quick)
+    return lambda: repeat_broadcast(net, algorithm, runs=trials, engine="batch")
+
+
+@register(
+    "obs_overhead",
+    tags=("engine", "batch", "obs"),
+    # Tighter than the generic 1.3: the instrumented path is the one this
+    # PR optimised (buffered collision flush), and it must not creep back.
+    tolerance=1.25,
+    description="Instrumented batched run (metrics on) — the obs cost itself",
+)
+def _obs_overhead(quick: bool):
+    _, instrumented = obs_overhead_workload(quick)
+    return instrumented
+
+
+@register(
+    "sweep_pool",
+    tags=("sweep", "pool"),
+    repeats=3,
+    quick_repeats=2,
+    # Pool spin-up + fork noise dominate a sub-second sweep; allow more.
+    tolerance=1.6,
+    description="End-to-end run_sweep on the worker pool (uncached)",
+)
+def _sweep_pool(quick: bool):
+    from ..sweep import SweepSpec, run_sweep
+
+    sizes = [24, 48] if quick else [32, 64, 96]
+    spec = SweepSpec.from_dict({
+        "name": "bench-pool",
+        "topology": "km-layered",
+        "algorithm": "kp-known-d",
+        "topology_grid": {"n": sizes, "depth": 4},
+        "algorithm_grid": {"stage_constant": 8},
+        "trials": 3 if quick else 10,
+    })
+    return lambda: run_sweep(spec, workers=2, cache=None)
+
+
+@register(
+    "topology_generation",
+    tags=("topology",),
+    description="km_hard_layered hard-instance construction",
+)
+def _topology_generation(quick: bool):
+    from ..topology import km_hard_layered
+
+    n, depth = (512, 64) if quick else (2048, 128)
+    return lambda: km_hard_layered(n, depth, seed=7)
+
+
+@register(
+    "universal_sequence",
+    tags=("combinatorics",),
+    description="Lemma 1 universal-sequence construction",
+)
+def _universal_sequence(quick: bool):
+    from ..combinatorics import build_universal_sequence
+
+    r, d = (1024, 256) if quick else (4096, 1024)
+    return lambda: build_universal_sequence(r, d)

@@ -366,9 +366,16 @@ class BatchedFastEngine:
         self.timings = timings
         self.metrics = metrics
         self._tx_counts: np.ndarray | None = None
+        #: Per-slot collision observations are buffered here and flushed
+        #: once per :meth:`run` (histograms are order-invariant, so the
+        #: single ``observe_many`` is tally-identical to observing inside
+        #: the slot loop — it just skips ~one searchsorted per slot).
+        self._collision_chunks: list[np.ndarray] = []
+        self._collision_zero_trials = 0
         if metrics is not None:
             self._slots_counter = metrics.counter("engine_slots")
             self._tx_counter = metrics.counter("engine_transmissions")
+            self._active_gauge = metrics.gauge("batch_active_trials")
             self._collision_hist = metrics.histogram(
                 "collisions_per_slot", COUNT_BUCKETS
             )
@@ -456,8 +463,10 @@ class BatchedFastEngine:
         if self.metrics is not None:
             # Same freeze rule for metric tallies: settled trials keep
             # stepping as array rows, but the runs they reproduce have
-            # already stopped, so their slots no longer count.
-            m_active = active if active is not None else ~self.trials_settled
+            # already stopped, so their slots no longer count.  Without a
+            # fault plan "settled" is just "all awake", which the local
+            # ``awake`` already holds — don't recompute the (T, n) mask.
+            m_active = active if active is not None else ~awake.all(axis=1)
         mask = self.algorithm.transmit_mask(
             step, self.labels, self.wake_steps, self.network.r, self.coins
         )
@@ -507,15 +516,40 @@ class BatchedFastEngine:
         if self.metrics is not None:
             # One engine_slots tick per *active trial*, so counters stay
             # comparable with running the trials on single-run engines.
-            self._slots_counter.inc(int(m_active.sum()))
+            n_active = int(m_active.sum())
+            self._slots_counter.inc(n_active)
+            self._active_gauge.set(n_active)
             active_mask = mask & m_active[:, None]
             self._tx_counter.inc(int(active_mask.sum()))
             self._tx_counts += active_mask
+            # Collision observations are buffered and flushed once per
+            # run (see flush_metrics); a silent slot is n_active zeros.
             if collisions is None:
-                collisions = np.zeros(self.trials, dtype=np.int64)
-            self._collision_hist.observe_many(collisions[m_active])
+                self._collision_zero_trials += n_active
+            elif n_active:
+                self._collision_chunks.append(collisions[m_active])
         self.step += 1
         return mask
+
+    def flush_metrics(self) -> None:
+        """Flush buffered collision observations into the histogram.
+
+        :meth:`run` calls this after its slot loop; callers stepping the
+        engine manually with :meth:`run_step` must call it before
+        snapshotting the registry.  Idempotent between steps.  Also
+        refreshes ``batch_active_trials`` to the *current* unsettled
+        count (0 after a completed run) — during the slot loop the gauge
+        tracks the count entering each slot.
+        """
+        if self.metrics is None:
+            return
+        if self._collision_chunks:
+            self._collision_hist.observe_many(np.concatenate(self._collision_chunks))
+            self._collision_chunks.clear()
+        if self._collision_zero_trials:
+            self._collision_hist.observe_repeated(0, self._collision_zero_trials)
+            self._collision_zero_trials = 0
+        self._active_gauge.set(int((~self.trials_settled).sum()))
 
     def run(self, max_steps: int, stop_when_informed: bool = True) -> int:
         """Run until every trial settles or the step limit; returns slots.
@@ -531,6 +565,7 @@ class BatchedFastEngine:
                 break
             self.run_step()
             executed += 1
+        self.flush_metrics()
         return executed
 
     def trial_steps(self, trial: int) -> int:

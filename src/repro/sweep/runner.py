@@ -103,7 +103,9 @@ def _point_from_canonical(payload: dict) -> SweepPoint:
     )
 
 
-def execute_point(canonical: dict, instrument: bool = False) -> dict:
+def execute_point(
+    canonical: dict, instrument: bool = False, profile_dir: str | None = None
+) -> dict:
     """Run one sweep point; top-level so worker processes can unpickle it.
 
     Args:
@@ -113,6 +115,11 @@ def execute_point(canonical: dict, instrument: bool = False) -> dict:
             payload under ``"timings"`` / ``"metrics"``.  The simulated
             results are identical either way; the extra keys are stripped
             before cache writes so cached payloads stay deterministic.
+        profile_dir: When given, execute the point under
+            :class:`cProfile.Profile` and dump ``<label>.pstats`` into
+            this directory — the per-point hook that makes hot-path
+            attribution work across the multiprocessing pool.  Profiling
+            observes only; the payload is identical either way.
 
     Returns:
         JSON-safe payload with per-trial times and summary statistics.
@@ -121,6 +128,26 @@ def execute_point(canonical: dict, instrument: bool = False) -> dict:
         additionally carry their plan and the fault tallies summed over
         trials.
     """
+    if profile_dir is not None:
+        import cProfile
+        import pathlib
+
+        from ..obs.profile import profile_file_name
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            payload = _execute_point_body(canonical, instrument)
+        finally:
+            profiler.disable()
+        directory = pathlib.Path(profile_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(directory / profile_file_name(payload["label"])))
+        return payload
+    return _execute_point_body(canonical, instrument)
+
+
+def _execute_point_body(canonical: dict, instrument: bool = False) -> dict:
     point = _point_from_canonical(canonical)
     metrics: MetricsRegistry | None = None
     timings: Timings | None = None
@@ -245,7 +272,10 @@ class SweepOutcome:
 # Crash-safe worker pool
 
 
-def _pool_worker(task_queue, result_queue, instrument: bool = False) -> None:
+def _pool_worker(
+    task_queue, result_queue, instrument: bool = False,
+    profile_dir: str | None = None,
+) -> None:
     """Worker loop: announce the task, run it, report the outcome.
 
     The ``start`` message *before* execution is what makes recovery
@@ -262,8 +292,10 @@ def _pool_worker(task_queue, result_queue, instrument: bool = False) -> None:
         try:
             # Positional single-arg call when uninstrumented: tests may
             # monkeypatch ``execute_point`` with one-argument stand-ins.
-            if instrument:
-                payload = execute_point(canonical, instrument=True)
+            if instrument or profile_dir is not None:
+                payload = execute_point(
+                    canonical, instrument=instrument, profile_dir=profile_dir
+                )
             else:
                 payload = execute_point(canonical)
         except Exception as exc:
@@ -284,6 +316,7 @@ def _run_pool(
     on_done: Callable[[int, dict], None],
     instrument: bool = False,
     on_event: Callable[..., None] | None = None,
+    profile_dir: str | None = None,
 ) -> dict[int, tuple[str, int]]:
     """Execute ``(index, canonical)`` tasks on a kill-tolerant pool.
 
@@ -343,7 +376,7 @@ def _run_pool(
     def spawn() -> "multiprocessing.Process":
         process = context.Process(
             target=_pool_worker,
-            args=(task_queue, result_queue, instrument),
+            args=(task_queue, result_queue, instrument, profile_dir),
             daemon=True,
         )
         process.start()
@@ -436,6 +469,7 @@ def _execute_serial(
     on_done: Callable[[int, dict], None],
     instrument: bool = False,
     on_event: Callable[..., None] | None = None,
+    profile_dir: str | None = None,
 ) -> dict[int, tuple[str, int]]:
     """In-process counterpart of :func:`_run_pool` (no timeout support)."""
 
@@ -449,8 +483,10 @@ def _execute_serial(
             emit("spawned", index, attempt=attempt + 1)
             emit("started", index)
             try:
-                if instrument:
-                    payload = execute_point(canonical, instrument=True)
+                if instrument or profile_dir is not None:
+                    payload = execute_point(
+                        canonical, instrument=instrument, profile_dir=profile_dir
+                    )
                 else:
                     payload = execute_point(canonical)
             except ConfigurationError as exc:
@@ -482,6 +518,8 @@ def run_sweep(
     backoff: float = 0.5,
     instrument: bool = False,
     runlog: RunLogger | None = None,
+    metrics: MetricsRegistry | None = None,
+    profile_dir: str | None = None,
 ) -> SweepOutcome:
     """Execute a sweep, sharding cache misses across worker processes.
 
@@ -518,6 +556,18 @@ def run_sweep(
             ``point_timed_out``, ``point_killed``, ``point_retried``,
             ``point_failed``, ``sweep_completed``).  Only this parent
             process writes to it.
+        metrics: Optional parent-side
+            :class:`~repro.obs.metrics.MetricsRegistry`.  The runner sets
+            the sweep gauges (``sweep_cache_hit_ratio``,
+            ``sweep_active_workers``) on it, and — when ``instrument`` is
+            on — folds every executed point's worker-side snapshot into
+            it as the point completes, so after the sweep this one
+            registry holds the whole grid's tallies.
+        profile_dir: When given, every executed point runs under
+            cProfile and dumps ``<label>.pstats`` into this directory
+            (workers write their own files; labels are unique per point,
+            so parallel writers never clash).  Merge them back with
+            :func:`repro.obs.profile.merge_stats_files`.
 
     Returns:
         A :class:`SweepOutcome` with one :class:`PointResult` per grid
@@ -555,6 +605,13 @@ def run_sweep(
                 on_point(point, hit, True)
         else:
             pending.append(i)
+
+    if metrics is not None:
+        hit_count = len(points) - len(pending)
+        metrics.gauge("sweep_cache_hit_ratio").set(
+            hit_count / len(points) if points else 0.0
+        )
+        metrics.gauge("sweep_active_workers").set(0)
 
     failed: dict[int, tuple[str, int]] = {}
     if pending:
@@ -615,6 +672,8 @@ def run_sweep(
                     cache.put(points[index], to_store)
             if timings is not None and "timings" in payload:
                 payload["timings"] = timings.to_dict()
+            if metrics is not None and payload.get("metrics"):
+                metrics.merge(MetricsRegistry.from_dict(payload["metrics"]))
             if runlog is not None:
                 runlog.event(
                     "point_completed",
@@ -631,15 +690,21 @@ def run_sweep(
         tasks = [(i, points[i].canonical()) for i in pending]
         use_pool = (workers > 1 and len(pending) > 1) or timeout is not None
         on_event = pool_event if observe else None
+        if metrics is not None:
+            metrics.gauge("sweep_active_workers").set(
+                max(1, min(workers, len(pending))) if use_pool else 1
+            )
         if use_pool:
             failed = _run_pool(
                 tasks, workers, timeout, retries, backoff, on_done,
                 instrument=instrument, on_event=on_event,
+                profile_dir=profile_dir,
             )
         else:
             failed = _execute_serial(
                 tasks, retries, backoff, on_done,
                 instrument=instrument, on_event=on_event,
+                profile_dir=profile_dir,
             )
 
     if runlog is not None:

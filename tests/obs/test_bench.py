@@ -1,0 +1,187 @@
+"""Benchmark registry: timing protocol, record schema, regression gates.
+
+The load-bearing invariant is the CI contract: ``repro bench --compare``
+must *warn* on a regression by default and exit nonzero only under
+``REPRO_BENCH_STRICT=1`` — a noisy shared runner must never fail a PR,
+while dedicated hardware must never let one slip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    Benchmark,
+    BenchmarkRegistry,
+    append_trajectory,
+    baseline_path,
+    compare_record,
+    environment_fingerprint,
+    load_baseline,
+    read_trajectory,
+    run_benchmark,
+    strict_mode,
+    trajectory_path,
+    validate_record,
+    write_baseline,
+)
+
+
+def _noop_bench(name="unit", **kwargs):
+    kwargs.setdefault("repeats", 2)
+    kwargs.setdefault("quick_repeats", 2)
+    kwargs.setdefault("warmup", 0)
+    return Benchmark(name=name, build=lambda quick: (lambda: None), **kwargs)
+
+
+class TestRegistry:
+    def test_duplicate_names_are_rejected(self):
+        registry = BenchmarkRegistry()
+        registry.add(_noop_bench("a"))
+        with pytest.raises(ValueError):
+            registry.add(_noop_bench("a"))
+
+    def test_select_matches_names_and_tags(self):
+        registry = BenchmarkRegistry()
+        registry.add(_noop_bench("fast_engine", tags=("engine",)))
+        registry.add(_noop_bench("sweep_pool", tags=("sweep",)))
+        assert [b.name for b in registry.select("engine")] == ["fast_engine"]
+        assert [b.name for b in registry.select("sweep")] == ["sweep_pool"]
+        assert len(registry.select("")) == 2
+        assert registry.select("nomatch") == []
+
+    def test_get_unknown_name_lists_registered(self):
+        registry = BenchmarkRegistry()
+        registry.add(_noop_bench("a"))
+        with pytest.raises(KeyError, match="'a'"):
+            registry.get("b")
+
+    def test_tolerance_must_be_a_ratio_above_one(self):
+        with pytest.raises(ValueError):
+            _noop_bench(tolerance=1.0)
+        with pytest.raises(ValueError):
+            _noop_bench(tolerance=0.9)
+
+
+class TestTimingProtocol:
+    def test_setup_runs_outside_the_timed_region(self):
+        calls = {"build": 0, "thunk": 0}
+
+        def build(quick):
+            calls["build"] += 1
+
+            def thunk():
+                calls["thunk"] += 1
+
+            return thunk
+
+        bench = Benchmark(name="counting", build=build, repeats=3, warmup=2)
+        record = run_benchmark(bench)
+        assert calls["build"] == 1
+        assert calls["thunk"] == 2 + 3  # warmup + timed
+        assert record["repeats"] == 3 and record["warmup"] == 2
+        assert len(record["times_s"]) == 3
+
+    def test_quick_uses_quick_repeats_and_flags_the_record(self):
+        bench = _noop_bench(repeats=5, quick_repeats=2)
+        record = run_benchmark(bench, quick=True)
+        assert record["quick"] is True
+        assert record["repeats"] == 2
+
+    def test_record_passes_its_own_schema_check(self):
+        record = run_benchmark(_noop_bench())
+        assert validate_record(record) == []
+        assert record["min_s"] == min(record["times_s"])
+
+    def test_validate_record_catches_violations(self):
+        record = run_benchmark(_noop_bench())
+        record["min_s"] = record["min_s"] + 1.0
+        assert any("min_s" in e for e in validate_record(record))
+        del record["bench"]
+        assert any("bench" in e for e in validate_record(record))
+        record["schema"] = 99
+        assert any("newer" in e for e in validate_record(record))
+        assert validate_record({}) != []
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        for key in ("git_sha", "python", "numpy", "platform", "cpu_count"):
+            assert env[key] is not None
+
+
+class TestTrajectoryAndBaselines:
+    def test_append_and_read_round_trip(self, tmp_path):
+        record = run_benchmark(_noop_bench())
+        path = append_trajectory(record, tmp_path)
+        append_trajectory(record, tmp_path)
+        assert path == trajectory_path(tmp_path)
+        records = read_trajectory(path)
+        assert len(records) == 2
+        assert records[0] == json.loads(json.dumps(record))
+
+    def test_read_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.jsonl"
+        path.write_text('{"bench": "a"}\n[1, 2]\n')
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_trajectory(path)
+
+    def test_baseline_write_load_round_trip(self, tmp_path):
+        record = run_benchmark(_noop_bench("my_bench"))
+        path = write_baseline(record, tmp_path)
+        assert path == baseline_path("my_bench", tmp_path)
+        assert load_baseline("my_bench", tmp_path) == json.loads(json.dumps(record))
+        assert load_baseline("absent", tmp_path) is None
+
+
+def _record(min_s, tolerance=1.3, quick=False, bench="b"):
+    return {
+        "bench": bench, "min_s": min_s, "tolerance": tolerance, "quick": quick,
+    }
+
+
+class TestComparison:
+    def test_within_tolerance_is_ok(self):
+        comparison = compare_record(_record(1.2), _record(1.0))
+        assert comparison.status == "ok" and not comparison.regressed
+        assert comparison.ratio == pytest.approx(1.2)
+
+    def test_beyond_tolerance_is_a_regression(self):
+        comparison = compare_record(_record(1.4), _record(1.0))
+        assert comparison.status == "regression" and comparison.regressed
+        assert "regression" in comparison.describe()
+
+    def test_faster_than_margin_is_improved(self):
+        comparison = compare_record(_record(0.5), _record(1.0))
+        assert comparison.status == "improved" and not comparison.regressed
+
+    def test_missing_baseline(self):
+        comparison = compare_record(_record(1.0), None)
+        assert comparison.status == "no-baseline"
+        assert comparison.ratio is None
+        assert "no committed baseline" in comparison.describe()
+
+    def test_quick_vs_full_modes_never_compare(self):
+        comparison = compare_record(_record(9.0, quick=True), _record(1.0))
+        assert comparison.status == "mode-mismatch"
+        assert not comparison.regressed
+        assert "not comparable" in comparison.describe()
+
+    def test_tolerance_comes_from_the_record(self):
+        # The registered tolerance at measurement time decides, not a
+        # stale value stored in the baseline.
+        comparison = compare_record(
+            _record(1.4, tolerance=1.5), _record(1.0, tolerance=1.1)
+        )
+        assert comparison.status == "ok"
+
+
+class TestStrictMode:
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+        assert strict_mode() is False
+        monkeypatch.setenv("REPRO_BENCH_STRICT", "1")
+        assert strict_mode() is True
+        monkeypatch.setenv("REPRO_BENCH_STRICT", "0")
+        assert strict_mode() is False

@@ -6,6 +6,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (
     COUNT_BUCKETS,
@@ -131,3 +133,74 @@ class TestRegistry:
 
     def test_empty_round_trip(self):
         assert MetricsRegistry.from_dict({}).to_dict() == MetricsRegistry().to_dict()
+
+
+class TestMergeIsUnionOfStreams:
+    """Property: merging per-shard registries == observing the union stream.
+
+    This is the invariant the sweep pool relies on — each worker tallies
+    its own registry and the parent folds them, so the fold must be
+    indistinguishable from one process having observed everything.
+    Integer observations keep float sums exact, so equality is literal.
+    """
+
+    @staticmethod
+    def _observe(registry, stream):
+        for value in stream:
+            registry.counter("events").inc()
+            registry.histogram("values", COUNT_BUCKETS).observe(value)
+            registry.counter("total_value").inc(value)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=2048), max_size=80),
+        cut=st.integers(min_value=0, max_value=80),
+    )
+    def test_two_way_split(self, values, cut):
+        cut = min(cut, len(values))
+        whole = MetricsRegistry()
+        self._observe(whole, values)
+        left, right = MetricsRegistry(), MetricsRegistry()
+        self._observe(left, values[:cut])
+        self._observe(right, values[cut:])
+        merged = MetricsRegistry().merge(left).merge(right)
+        assert merged.to_dict() == whole.to_dict()
+
+    @given(
+        shards=st.lists(
+            st.lists(st.integers(min_value=0, max_value=2048), max_size=20),
+            max_size=6,
+        )
+    )
+    def test_many_way_split_in_any_order(self, shards):
+        whole = MetricsRegistry()
+        for shard in shards:
+            self._observe(whole, shard)
+        merged = MetricsRegistry()
+        for shard in reversed(shards):
+            part = MetricsRegistry()
+            self._observe(part, shard)
+            merged.merge(part)
+        assert merged.to_dict() == whole.to_dict()
+
+    @given(
+        value=st.integers(min_value=0, max_value=2048),
+        count=st.integers(min_value=0, max_value=500),
+    )
+    def test_observe_repeated_equals_count_observes(self, value, count):
+        looped = Histogram("h", COUNT_BUCKETS)
+        for _ in range(count):
+            looped.observe(value)
+        batched = Histogram("h", COUNT_BUCKETS)
+        batched.observe_repeated(value, count)
+        assert batched.to_dict() == looped.to_dict()
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=2048), max_size=60),
+    )
+    def test_observe_many_equals_observe_loop(self, values):
+        looped = Histogram("h", COUNT_BUCKETS)
+        for value in values:
+            looped.observe(value)
+        batched = Histogram("h", COUNT_BUCKETS)
+        batched.observe_many(np.asarray(values, dtype=np.int64))
+        assert batched.to_dict() == looped.to_dict()

@@ -1,0 +1,142 @@
+"""Profiling wrappers: pstats tables, dump merging, callgrind format.
+
+The callgrind tests are the contract with KCachegrind: every file
+:func:`write_callgrind` emits must satisfy the grammar that
+:func:`parse_callgrind` enforces (events header, position scopes,
+integer costs, call arcs followed by a cost line).
+"""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro.obs.profile import (
+    format_stats,
+    merge_stats_files,
+    parse_callgrind,
+    profile_call,
+    profile_file_name,
+    write_callgrind,
+)
+
+
+def _busy_work(n=200):
+    return sum(_square(i) for i in range(n))
+
+
+def _square(i):
+    return i * i
+
+
+class TestProfileCall:
+    def test_returns_result_and_stats(self):
+        result, stats = profile_call(lambda: _busy_work(100))
+        assert result == sum(i * i for i in range(100))
+        assert isinstance(stats, pstats.Stats)
+        assert stats.total_calls > 0
+
+    def test_profiling_does_not_change_the_result(self):
+        plain = _busy_work()
+        profiled, _ = profile_call(_busy_work)
+        assert profiled == plain
+
+    def test_stats_capture_the_profiled_functions(self):
+        _, stats = profile_call(_busy_work)
+        names = {name for (_f, _l, name) in stats.stats}
+        assert "_square" in names
+
+
+class TestFormatStats:
+    def test_table_contains_headers_and_functions(self):
+        _, stats = profile_call(_busy_work)
+        table = format_stats(stats, top=10)
+        assert "ncalls" in table and "cumtime" in table
+        assert "_busy_work" in table or "<lambda>" in table
+
+    def test_sort_keys(self):
+        _, stats = profile_call(_busy_work)
+        for sort in ("cumulative", "tottime", "calls"):
+            assert "Ordered by" in format_stats(stats, top=3, sort=sort)
+
+
+class TestProfileFileName:
+    def test_sanitizes_sweep_point_labels(self):
+        name = profile_file_name("km-layered(depth=4, n=24) x kp-known-d")
+        assert name.endswith(".pstats")
+        assert "(" not in name and " " not in name and "/" not in name
+
+    def test_empty_label_still_names_a_file(self):
+        assert profile_file_name("()") == "point.pstats"
+
+    def test_distinct_labels_stay_distinct(self):
+        a = profile_file_name("km-layered(n=24) x kp")
+        b = profile_file_name("km-layered(n=48) x kp")
+        assert a != b
+
+
+class TestMergeStatsFiles:
+    def test_empty_iterable_merges_to_none(self):
+        assert merge_stats_files([]) is None
+
+    def test_merged_totals_are_the_sum(self, tmp_path):
+        paths = []
+        for i in range(2):
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            _busy_work(50)
+            profiler.disable()
+            path = tmp_path / f"p{i}.pstats"
+            profiler.dump_stats(str(path))
+            paths.append(path)
+        singles = [pstats.Stats(str(p)).total_calls for p in paths]
+        merged = merge_stats_files(paths)
+        assert merged.total_calls == sum(singles)
+
+
+class TestCallgrindFormat:
+    def test_round_trip_through_the_parser(self, tmp_path):
+        _, stats = profile_call(_busy_work)
+        path = write_callgrind(stats, tmp_path / "out.callgrind")
+        costs = parse_callgrind(path.read_text())
+        assert costs  # at least one function with a self cost
+        assert any("_square" in name for name in costs)
+        assert all(isinstance(cost, int) and cost >= 0 for cost in costs.values())
+
+    def test_header_declares_microsecond_events(self, tmp_path):
+        _, stats = profile_call(lambda: None)
+        text = write_callgrind(stats, tmp_path / "o.callgrind").read_text()
+        head = text.splitlines()[:5]
+        assert "# callgrind format" in head
+        assert "version: 1" in head
+        assert "events: us" in head
+
+    def test_self_costs_approximate_tottime(self, tmp_path):
+        _, stats = profile_call(lambda: _busy_work(2000))
+        path = write_callgrind(stats, tmp_path / "o.callgrind")
+        costs = parse_callgrind(path.read_text())
+        tottime_us = {
+            name: int(tt * 1e6)
+            for (_f, _l, name), (_cc, _nc, tt, _ct, _callers) in stats.stats.items()
+        }
+        for name, cost in costs.items():
+            assert cost == tottime_us[name]
+
+    def test_parser_rejects_missing_events_header(self):
+        with pytest.raises(ValueError, match="events"):
+            parse_callgrind("fl=a.py\nfn=f\n1 10\n")
+
+    def test_parser_rejects_cost_outside_scope(self):
+        with pytest.raises(ValueError, match="scope"):
+            parse_callgrind("events: us\n1 10\n")
+
+    def test_parser_rejects_dangling_calls_line(self):
+        with pytest.raises(ValueError, match="calls="):
+            parse_callgrind("events: us\nfl=a.py\nfn=f\n1 10\ncalls=1 5\n")
+
+    def test_parser_rejects_garbage_lines(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            parse_callgrind("events: us\nfl=a.py\nfn=f\nnot a line\n")

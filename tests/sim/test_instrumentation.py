@@ -87,7 +87,16 @@ class TestCounterParity:
         for seed in seeds:
             run_broadcast(net, algorithm, seed=seed, metrics=serial)
         run_broadcast_batch(net, algorithm, seeds=seeds, metrics=batched)
-        assert batched.to_dict() == serial.to_dict()
+        # Counters and histograms must tally identically even though the
+        # batched engine buffers its collision observations and flushes
+        # them once per run (histograms are order-invariant).
+        batched_dict, serial_dict = batched.to_dict(), serial.to_dict()
+        assert batched_dict["counters"] == serial_dict["counters"]
+        assert batched_dict["histograms"] == serial_dict["histograms"]
+        # The batch-only liveness gauge exists on the batched side alone;
+        # it reads 0 once every trial has settled.
+        assert serial_dict["gauges"] == {}
+        assert batched_dict["gauges"] == {"batch_active_trials": 0}
 
     def test_expected_counters_present(self):
         net = path(10)
@@ -105,6 +114,79 @@ class TestCounterParity:
         # One transmissions-per-node observation per node.
         assert histograms["transmissions_per_node"]["count"] == net.n
         assert histograms["collisions_per_slot"]["count"] == result.time
+
+
+class TestProfilingIdentity:
+    """cProfile wrapping must observe, never perturb (repro profile)."""
+
+    def test_profiled_single_run_matches_plain(self):
+        from repro.obs.profile import profile_call
+
+        net = _net()
+        algorithm = BGIBroadcast(net.r)
+        plain = run_broadcast_fast(net, algorithm, seed=SEED)
+        profiled, stats = profile_call(
+            lambda: run_broadcast_fast(net, algorithm, seed=SEED)
+        )
+        assert _result_key(profiled) == _result_key(plain)
+        assert stats.total_calls > 0
+
+    def test_profiled_instrumented_batch_matches_plain(self):
+        from repro.obs.profile import profile_call
+
+        net = _net()
+        algorithm = BGIBroadcast(net.r)
+        seeds = [1, 2, 3]
+        plain_registry, profiled_registry = MetricsRegistry(), MetricsRegistry()
+        plain = run_broadcast_batch(net, algorithm, seeds=seeds,
+                                    metrics=plain_registry)
+        profiled, _ = profile_call(
+            lambda: run_broadcast_batch(net, algorithm, seeds=seeds,
+                                        metrics=profiled_registry)
+        )
+        assert [_result_key(r) for r in profiled] == [
+            _result_key(r) for r in plain
+        ]
+        # The metric tallies survive profiling unchanged too.
+        assert profiled_registry.to_dict() == plain_registry.to_dict()
+
+
+class TestBatchedFlush:
+    """The batched engine buffers collision observations until flush."""
+
+    def _engine(self):
+        from repro.sim.fast import BatchedFastEngine
+
+        net = _net()
+        registry = MetricsRegistry()
+        return BatchedFastEngine(net, BGIBroadcast(net.r), seeds=[5, 6],
+                                 metrics=registry), registry
+
+    def test_manual_stepping_requires_flush(self):
+        engine, registry = self._engine()
+        for _ in range(4):
+            engine.run_step()
+        histogram = registry.histograms["collisions_per_slot"]
+        assert histogram.total == 0  # buffered, not yet observed
+        engine.flush_metrics()
+        assert histogram.total == 8  # 4 slots x 2 active trials
+
+    def test_flush_is_idempotent(self):
+        engine, registry = self._engine()
+        for _ in range(3):
+            engine.run_step()
+        engine.flush_metrics()
+        snapshot = registry.to_dict()
+        engine.flush_metrics()
+        assert registry.to_dict() == snapshot
+
+    def test_run_flushes_and_zeroes_the_gauge(self):
+        engine, registry = self._engine()
+        engine.run(max_steps=10_000)
+        assert engine.all_settled
+        assert registry.gauges["batch_active_trials"].value == 0
+        slots = registry.counters["engine_slots"].value
+        assert registry.histograms["collisions_per_slot"].total == slots
 
 
 class TestTimings:

@@ -12,7 +12,10 @@ import json
 
 import pytest
 
-from repro.obs.runlog import RunLogger, assert_valid_runlog, read_runlog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import format_stats, merge_stats_files
+from repro.obs.runlog import RunLogger, assert_valid_runlog
+from repro.sweep.runner import execute_point
 from repro.sweep import (
     ResultCache,
     SweepExecutionError,
@@ -181,3 +184,84 @@ class TestFailureContext:
             run_sweep(spec, retries=1)
         assert "after 2 attempt(s)" in str(excinfo.value)
         assert "synthetic failure" in str(excinfo.value)
+
+
+class TestParentRegistry:
+    """run_sweep(metrics=...) folds worker snapshots into one registry."""
+
+    def test_cross_process_merge_equals_payload_fold(self):
+        parent = MetricsRegistry()
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC), workers=2,
+                            instrument=True, metrics=parent)
+        manual = MetricsRegistry()
+        for result in outcome.results:
+            manual.merge(MetricsRegistry.from_dict(result.payload["metrics"]))
+        # Counters and histograms crossed process boundaries via pickled
+        # snapshots; the parent fold must equal folding the payloads.
+        assert parent.to_dict()["counters"] == manual.to_dict()["counters"]
+        assert parent.to_dict()["histograms"] == manual.to_dict()["histograms"]
+        assert parent.counters["runs_total"].value == 2 * SMALL_SPEC["trials"]
+
+    def test_gauges_on_a_cold_serial_sweep(self):
+        parent = MetricsRegistry()
+        run_sweep(SweepSpec(**SMALL_SPEC), metrics=parent)
+        gauges = parent.to_dict()["gauges"]
+        assert gauges["sweep_cache_hit_ratio"] == 0.0
+        assert gauges["sweep_active_workers"] == 1
+
+    def test_gauges_on_a_cold_pooled_sweep(self):
+        parent = MetricsRegistry()
+        run_sweep(SweepSpec(**SMALL_SPEC), workers=2, metrics=parent)
+        gauges = parent.to_dict()["gauges"]
+        assert gauges["sweep_cache_hit_ratio"] == 0.0
+        assert gauges["sweep_active_workers"] == 2
+
+    def test_gauges_on_a_fully_warm_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=cache)
+        parent = MetricsRegistry()
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC), cache=cache, metrics=parent)
+        assert outcome.from_cache == 2
+        gauges = parent.to_dict()["gauges"]
+        assert gauges["sweep_cache_hit_ratio"] == 1.0
+        assert gauges["sweep_active_workers"] == 0
+
+
+class TestProfileHook:
+    """run_sweep(profile_dir=...): per-point cProfile dumps via the pool."""
+
+    def test_one_pstats_dump_per_executed_point(self, tmp_path):
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC), workers=2,
+                            profile_dir=str(tmp_path))
+        assert outcome.executed == 2
+        dumps = sorted(tmp_path.glob("*.pstats"))
+        assert len(dumps) == 2
+        merged = merge_stats_files(dumps)
+        table = format_stats(merged, top=25)
+        # The point-execution hot path is attributed in the merged profile.
+        assert "_execute_point_body" in table
+
+    def test_cache_hits_are_not_profiled(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(SweepSpec(**SMALL_SPEC), cache=cache)
+        profile_dir = tmp_path / "profiles"
+        outcome = run_sweep(SweepSpec(**SMALL_SPEC), cache=cache,
+                            profile_dir=str(profile_dir))
+        assert outcome.executed == 0
+        assert not list(profile_dir.glob("*.pstats"))
+
+    def test_profiling_leaves_payloads_bit_identical(self, tmp_path):
+        canonical = SweepSpec(**SMALL_SPEC).points()[0].canonical()
+        plain = execute_point(canonical)
+        profiled = execute_point(canonical, profile_dir=str(tmp_path))
+        assert profiled == plain
+        assert list(tmp_path.glob("*.pstats"))
+
+    def test_profiling_composes_with_instrumentation(self, tmp_path):
+        canonical = SweepSpec(**SMALL_SPEC).points()[0].canonical()
+        plain = execute_point(canonical, instrument=True)
+        profiled = execute_point(canonical, instrument=True,
+                                 profile_dir=str(tmp_path))
+        # Timings differ in wall-clock; everything else is identical.
+        strip = lambda p: {k: v for k, v in p.items() if k != "timings"}  # noqa: E731
+        assert strip(profiled) == strip(plain)

@@ -244,3 +244,177 @@ def test_report_rejects_missing_or_invalid_file(tmp_path):
     bad.write_text("not json\n")
     with pytest.raises(SystemExit):
         main(["report", str(bad)])
+
+
+# ----------------------------------------------------------------------
+# bench / profile / report --json
+
+
+def test_bench_list(capsys):
+    code = main(["bench", "--list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "universal_sequence" in out and "batched_engine" in out
+
+
+def test_bench_quick_appends_valid_trajectory_records(tmp_path, capsys):
+    from repro.obs.bench import read_trajectory, validate_record
+
+    code = main(["bench", "--quick", "--filter", "combinatorics",
+                 "--results-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "universal_sequence" in out
+    records = read_trajectory(tmp_path / "BENCH_trajectory.jsonl")
+    assert len(records) == 1
+    assert validate_record(records[0]) == []
+    assert records[0]["quick"] is True
+    assert records[0]["env"]["git_sha"]
+
+
+def test_bench_update_baseline_then_compare_ok(tmp_path, capsys):
+    code = main(["bench", "--quick", "--filter", "universal",
+                 "--results-dir", str(tmp_path), "--update-baseline"])
+    assert code == 0
+    assert (tmp_path / "BENCH_universal_sequence.json").exists()
+    code = main(["bench", "--quick", "--filter", "universal",
+                 "--results-dir", str(tmp_path), "--compare"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ok" in out or "improved" in out
+
+
+def test_bench_compare_without_baseline_does_not_fail(tmp_path, capsys):
+    code = main(["bench", "--quick", "--filter", "universal",
+                 "--results-dir", str(tmp_path), "--compare"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no-baseline" in out
+
+
+def _tampered_baseline(tmp_path, capsys):
+    """Run one quick bench, then shrink its baseline to force a regression."""
+    import json as json_mod
+
+    assert main(["bench", "--quick", "--filter", "universal",
+                 "--results-dir", str(tmp_path), "--update-baseline"]) == 0
+    capsys.readouterr()
+    path = tmp_path / "BENCH_universal_sequence.json"
+    baseline = json_mod.loads(path.read_text())
+    baseline["min_s"] = baseline["min_s"] / 100.0
+    path.write_text(json_mod.dumps(baseline))
+
+
+def test_bench_regression_warns_by_default(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+    _tampered_baseline(tmp_path, capsys)
+    code = main(["bench", "--quick", "--filter", "universal",
+                 "--results-dir", str(tmp_path), "--compare"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "REGRESSION" in captured.err
+    assert "warning only" in captured.err
+
+
+def test_bench_regression_fails_under_strict(tmp_path, capsys, monkeypatch):
+    _tampered_baseline(tmp_path, capsys)
+    monkeypatch.setenv("REPRO_BENCH_STRICT", "1")
+    code = main(["bench", "--quick", "--filter", "universal",
+                 "--results-dir", str(tmp_path), "--compare"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "REGRESSION" in captured.err
+
+
+def test_bench_json_output(tmp_path, capsys):
+    import json as json_mod
+
+    code = main(["bench", "--quick", "--filter", "combinatorics",
+                 "--results-dir", str(tmp_path), "--compare", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    document = json_mod.loads(out)
+    assert document["records"][0]["bench"] == "universal_sequence"
+    assert document["comparisons"][0]["status"] == "no-baseline"
+
+
+def test_bench_unknown_filter_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="no benchmark matches"):
+        main(["bench", "--quick", "--filter", "nonexistent",
+              "--results-dir", str(tmp_path)])
+
+
+def test_report_renders_bench_trajectory(tmp_path, capsys):
+    assert main(["bench", "--quick", "--filter", "combinatorics",
+                 "--results-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    code = main(["report", str(tmp_path / "BENCH_trajectory.jsonl")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "benchmark trajectory" in out
+    assert "universal_sequence" in out
+
+
+def test_report_json_on_trajectory(tmp_path, capsys):
+    import json as json_mod
+
+    assert main(["bench", "--quick", "--filter", "combinatorics",
+                 "--results-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    code = main(["report", str(tmp_path / "BENCH_trajectory.jsonl"), "--json"])
+    document = json_mod.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["kind"] == "trajectory"
+    assert "universal_sequence" in document["benches"]
+
+
+def test_report_json_on_runlog(tmp_path, capsys):
+    import json as json_mod
+
+    log_path = tmp_path / "run.jsonl"
+    assert main(["run", "--topology", "path", "--n", "6", "--algorithm",
+                 "round-robin", "--log-jsonl", str(log_path)]) == 0
+    capsys.readouterr()
+    code = main(["report", str(log_path), "--json"])
+    document = json_mod.loads(capsys.readouterr().out)
+    assert code == 0
+    assert document["kind"] == "runlog"
+    assert document["lifecycle"]["run_completed"] == 1
+
+
+def test_profile_bench_prints_pstats_table(capsys):
+    code = main(["profile", "bench", "universal_sequence", "--quick",
+                 "--top", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ncalls" in out and "cumtime" in out
+    assert "build_universal_sequence" in out
+
+
+def test_profile_bench_unknown_name_rejected():
+    with pytest.raises(SystemExit, match="unknown benchmark"):
+        main(["profile", "bench", "nonexistent"])
+
+
+def test_profile_run_with_callgrind_export(tmp_path, capsys):
+    from repro.obs.profile import parse_callgrind
+
+    out_file = tmp_path / "run.callgrind"
+    code = main(["profile", "run", "--topology", "path", "--n", "8",
+                 "--algorithm", "round-robin", "--trials", "2",
+                 "--top", "5", "--callgrind", str(out_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ncalls" in out
+    costs = parse_callgrind(out_file.read_text())
+    assert costs
+
+
+def test_profile_sweep_quick(tmp_path, capsys):
+    code = main(["profile", "sweep", "--quick", "--workers", "1",
+                 "--top", "8", "--profile-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 point(s) profiled" in out
+    assert "ncalls" in out
+    assert len(list(tmp_path.glob("*.pstats"))) == 2
