@@ -1,0 +1,76 @@
+"""Event-driven adaptive-engine benchmark (the ``adaptive_engine`` gate).
+
+The tentpole claim: on e4's largest Select-and-Send workload the
+event-driven engine — idle-hint polling plus slot compression plus the
+shared CSR/bincount channel kernel — reproduces the polling reference
+engine bit for bit while running at least 5x faster.  Bit-identity is
+asserted here on wake times and completion; the exhaustive slot-level
+differential lives in ``tests/sim/test_event_engine.py``.
+
+The workload comes from the shared benchmark registry
+(:func:`repro.obs.suite.adaptive_workload`), so the committed
+``BENCH_adaptive_engine.json`` baseline that ``repro bench`` gates on
+tracks exactly the run this test measures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import render_table
+from repro.obs.suite import adaptive_workload
+from repro.sim import run_broadcast
+
+REPEATS = 3  # best-of to shave scheduler noise
+
+#: The tentpole acceptance bar: event-driven Select-and-Send must beat
+#: the polling reference engine by at least this factor.
+MIN_SPEEDUP = 5.0
+
+
+def _best_of(thunk, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_event_engine_speedup_and_identity(table_reporter):
+    net, algorithm = adaptive_workload(quick=False)
+
+    reference_s, reference = _best_of(
+        lambda: run_broadcast(
+            net, algorithm, require_completion=True, engine="reference"
+        )
+    )
+    event_s, event = _best_of(
+        lambda: run_broadcast(net, algorithm, require_completion=True, engine="event")
+    )
+
+    # The fast path must be a pure execution strategy, never a semantic
+    # variant: same completion, same broadcast time, same per-node wakes.
+    assert event.completed and reference.completed
+    assert event.time == reference.time
+    assert event.wake_times == reference.wake_times
+
+    speedup = reference_s / event_s
+    table_reporter.record(
+        "adaptive-engine",
+        render_table(
+            ["engine", "wall (s)", "slots/s"],
+            [
+                ["polling reference", f"{reference_s:.3f}",
+                 f"{reference.time / reference_s:.0f}"],
+                ["event-driven", f"{event_s:.3f}", f"{event.time / event_s:.0f}"],
+                ["speedup", f"{speedup:.1f}x", ""],
+            ],
+            title=(
+                f"Select-and-Send, G({net.n}, 6/n) seed=5, "
+                f"{reference.time} slots"
+            ),
+        ),
+    )
+    assert speedup >= MIN_SPEEDUP, f"event-engine speedup only {speedup:.1f}x"

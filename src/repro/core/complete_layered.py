@@ -45,6 +45,7 @@ from .echo import (
     InitOrder,
     InitStop,
     Probe,
+    QuietEchoSchedule,
     Selected,
     SelectionDriver,
     StopAll,
@@ -56,8 +57,14 @@ from .echo import (
 __all__ = ["CompleteLayeredBroadcast"]
 
 
-class _CompleteLayeredProtocol(Protocol):
-    """Per-node state machine for the layered leader chain."""
+class _CompleteLayeredProtocol(QuietEchoSchedule, Protocol):
+    """Per-node state machine for the layered leader chain.
+
+    :class:`QuietEchoSchedule` supplies the idle hint; it needs no
+    CD-specific handling because ``_awaiting`` is cleared exactly when
+    the observation window ends (after one slot under ``native_cd``,
+    two otherwise).
+    """
 
     def __init__(self, label: int, r: int, rng: random.Random, native_cd: bool = False):
         super().__init__(label, r, rng)

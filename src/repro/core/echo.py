@@ -33,6 +33,7 @@ import enum
 from dataclasses import dataclass
 
 from ..sim.errors import ProtocolViolationError
+from ..sim.protocol import QUIET_FOREVER
 
 __all__ = [
     "EchoOutcome",
@@ -40,6 +41,7 @@ __all__ = [
     "Selected",
     "Empty",
     "SelectionDriver",
+    "QuietEchoSchedule",
     "classify_echo",
     # Payloads shared by the deterministic token algorithms.
     "InitOrder",
@@ -231,6 +233,51 @@ def simulate_selection(driver: SelectionDriver, hidden: set[int]) -> Selected:
         if isinstance(step, Selected):
             return step
         probe = step
+
+
+# ----------------------------------------------------------------------
+# Idle hint shared by the Echo-timeline protocols
+# ----------------------------------------------------------------------
+
+
+class QuietEchoSchedule:
+    """`quiet_until` implementation for the Echo-timeline token protocols.
+
+    Both deterministic token algorithms (Select-and-Send and
+    Complete-Layered) drive the channel through exactly two mechanisms:
+
+    * a slot-keyed ``scheduled`` dict of pending transmissions (orders,
+      Echo replies, token passes), popped by ``next_action``; and
+    * a holder-side observation window ``_awaiting = (kind, base_slot)``
+      open from the order at ``base_slot`` until the outcome is decided
+      — the only span where *silence is information* (an Echo outcome).
+
+    Outside those, the protocols are purely reactive: ``observe`` ignores
+    silence and collision markers, so the earliest slot needing attention
+    is the earliest scheduled transmission — or the first observation
+    slot ``base_slot + 1`` while a window is open (the window closes when
+    ``_awaiting`` is cleared, after 2 Echo slots, or 1 under native
+    collision detection).  A stopped node is terminally quiet.  Message
+    deliveries re-activate a node regardless of any promise — the
+    event-driven engine re-queries this hint after every delivery, which
+    is what makes returning :data:`~repro.sim.protocol.QUIET_FOREVER`
+    safe (contract: ``docs/MODEL.md``).
+    """
+
+    def quiet_until(self, step: int) -> int:
+        if self.stopped:
+            return QUIET_FOREVER  # terminal: never transmits again
+        awaiting = self._awaiting
+        bound = QUIET_FOREVER
+        if awaiting is not None:
+            first = awaiting[1] + 1  # first Echo observation slot
+            if step >= first:
+                return step  # inside the window: silence is information
+            bound = first
+        for slot in self.scheduled:
+            if step <= slot < bound:
+                bound = slot
+        return bound
 
 
 # ----------------------------------------------------------------------

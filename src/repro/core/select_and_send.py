@@ -43,6 +43,7 @@ from .echo import (
     InitOrder,
     InitStop,
     Probe,
+    QuietEchoSchedule,
     Selected,
     SelectionDriver,
     StopAll,
@@ -54,8 +55,13 @@ from .echo import (
 __all__ = ["SelectAndSend"]
 
 
-class _SelectAndSendProtocol(Protocol):
-    """Per-node state machine for Select-and-Send."""
+class _SelectAndSendProtocol(QuietEchoSchedule, Protocol):
+    """Per-node state machine for Select-and-Send.
+
+    Slots where this node acts are fully determined by ``scheduled`` and
+    the holder's Echo window, so :class:`QuietEchoSchedule` provides the
+    exact idle hint the event-driven engine compresses on.
+    """
 
     def __init__(self, label: int, r: int, rng: random.Random):
         super().__init__(label, r, rng)

@@ -34,7 +34,9 @@ def run(quick: bool = False) -> ExperimentReport:
     rows, times, params = [], [], []
     for n, d in shape_cases:
         net = uniform_complete_layered(n, d)
-        result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+        result = run_broadcast(
+            net, CompleteLayeredBroadcast(), require_completion=True, engine="event"
+        )
         rows.append([
             n, d, result.time,
             result.time / complete_layered_bound(n, d),
@@ -63,7 +65,9 @@ def run(quick: bool = False) -> ExperimentReport:
     rows2, ratios = [], []
     for n, d in refutation_cases:
         net = uniform_complete_layered(n, d)
-        result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+        result = run_broadcast(
+            net, CompleteLayeredBroadcast(), require_completion=True, engine="event"
+        )
         claimed = claimed_cms_undirected_bound(n, d)
         ratios.append(result.time / claimed)
         rows2.append([n, d, result.time, f"{claimed:.0f}", result.time / claimed])
@@ -83,7 +87,9 @@ def run(quick: bool = False) -> ExperimentReport:
     rows3 = []
     for seed in range(2 if quick else 3):
         net = km_hard_layered(1024, 64, seed=seed)
-        result = run_broadcast(net, CompleteLayeredBroadcast(), require_completion=True)
+        result = run_broadcast(
+            net, CompleteLayeredBroadcast(), require_completion=True, engine="event"
+        )
         rows3.append([seed, result.time,
                       result.time / complete_layered_bound(1024, 64)])
     report.add_table(

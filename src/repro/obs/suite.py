@@ -22,6 +22,7 @@ from .bench import DEFAULT_REGISTRY, BenchmarkRegistry, register
 from .metrics import MetricsRegistry
 
 __all__ = [
+    "adaptive_workload",
     "batched_workload",
     "default_registry",
     "obs_overhead_workload",
@@ -47,6 +48,23 @@ def batched_workload(quick: bool = False):
     algorithm = KnownRadiusKP(net.r, 32)
     trials = 200 if quick else 1000
     return net, algorithm, trials
+
+
+def adaptive_workload(quick: bool = False):
+    """The canonical adaptive-engine workload: (network, algorithm).
+
+    E4's G(n, p) family at its largest full size — the Select-and-Send
+    run the event-driven engine exists to accelerate.  Shared by the
+    ``adaptive_engine`` bench and ``benchmarks/test_adaptive_engine.py``
+    so the committed ``BENCH_adaptive_engine`` baseline and the pytest
+    speedup gate measure the same thing.
+    """
+    from ..core import SelectAndSend
+    from ..topology import gnp_connected
+
+    n = 256 if quick else 512
+    net = gnp_connected(n, 6.0 / n, seed=5)
+    return net, SelectAndSend()
 
 
 def obs_overhead_workload(quick: bool = False):
@@ -108,6 +126,20 @@ def _batched_engine(quick: bool):
 
     net, algorithm, trials = batched_workload(quick)
     return lambda: repeat_broadcast(net, algorithm, runs=trials, engine="batch")
+
+
+@register(
+    "adaptive_engine",
+    tags=("engine", "event", "adaptive"),
+    description="Event-driven engine, Select-and-Send on e4's G(n, p)",
+)
+def _adaptive_engine(quick: bool):
+    from ..sim import run_broadcast
+
+    net, algorithm = adaptive_workload(quick)
+    return lambda: run_broadcast(
+        net, algorithm, require_completion=True, engine="event"
+    )
 
 
 @register(

@@ -6,8 +6,10 @@ spontaneous transmissions, labels in ``{0..r}`` with only the own label and
 ``r`` known a priori.
 """
 
+from .channel import ChannelKernel
 from .coins import CoinSource, NodeRandom, coin_uniform
 from .engine import SynchronousEngine
+from .event import EventDrivenEngine
 from .errors import (
     BroadcastIncompleteError,
     ConfigurationError,
@@ -26,7 +28,7 @@ from .fast import (
 from .faults import FaultCounters, FaultPlan, derive_fault_seed
 from .messages import Message, SOURCE_PAYLOAD, source_message
 from .network import RadioNetwork
-from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol
+from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol, QUIET_FOREVER
 from .run import (
     BroadcastResult,
     default_max_steps,
@@ -49,8 +51,10 @@ __all__ = [
     "BroadcastAlgorithm",
     "BroadcastIncompleteError",
     "BroadcastResult",
+    "ChannelKernel",
     "CoinSource",
     "ConfigurationError",
+    "EventDrivenEngine",
     "FastEngine",
     "FaultCounters",
     "FaultPlan",
@@ -60,6 +64,7 @@ __all__ = [
     "ObliviousTransmitter",
     "Protocol",
     "ProtocolViolationError",
+    "QUIET_FOREVER",
     "RadioNetwork",
     "SOURCE_PAYLOAD",
     "SimulationError",

@@ -1,0 +1,127 @@
+"""Precompiled radio-channel kernel shared by the non-reference engines.
+
+Channel resolution — "how many transmitting in-neighbours does each node
+have, and who was the unique one?" — is the inner loop of every engine.
+The reference :class:`~repro.sim.engine.SynchronousEngine` resolves it
+with per-edge dict updates, which is exact but costs a Python-level
+operation per edge per slot.  This module compiles the topology once into
+flat CSR arrays so the two fast families share one kernel:
+
+* :class:`~repro.sim.event.EventDrivenEngine` calls :meth:`ChannelKernel.
+  resolve` with the (typically tiny) set of transmitter indices — a
+  neighbour-slice gather plus one ``np.bincount``.
+* :class:`~repro.sim.fast.FastEngine` and
+  :class:`~repro.sim.fast.BatchedFastEngine` use the
+  :attr:`ChannelKernel.adjacency` / :attr:`ChannelKernel.adjacency_t`
+  scipy matrices built from the same arrays, resolving the whole (or the
+  whole batch of) transmit mask(s) with one sparse product.
+
+Node *indices* are positions in the sorted label array
+(:attr:`ChannelKernel.labels`), the same convention ``sim/fast.py`` has
+always used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import RadioNetwork
+
+__all__ = ["ChannelKernel"]
+
+
+class ChannelKernel:
+    """CSR neighbour lists + bincount hit counting for one topology.
+
+    Attributes:
+        network: The compiled topology.
+        n: Number of nodes.
+        labels: ``int64`` array of node labels in increasing order; index
+            ``i`` everywhere below refers to ``labels[i]``.
+        index: Inverse map ``label -> index``.
+        indptr / indices: Flat CSR out-neighbour lists over indices:
+            node ``i`` reaches ``indices[indptr[i]:indptr[i + 1]]``.
+    """
+
+    def __init__(self, network: RadioNetwork):
+        self.network = network
+        self.n = network.n
+        self.labels = np.array(network.nodes, dtype=np.int64)
+        self.index: dict[int, int] = {
+            int(label): i for i, label in enumerate(self.labels)
+        }
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        cols: list[int] = []
+        for i, label in enumerate(self.labels):
+            nbrs = network.out_neighbors[int(label)]
+            indptr[i + 1] = indptr[i] + len(nbrs)
+            cols.extend(self.index[v] for v in nbrs)
+        self.indptr = indptr
+        self.indices = np.array(cols, dtype=np.int64)
+        # Written fresh on every resolve(); only entries with hits == 1
+        # this slot are ever read, and those were written this slot.
+        self._sender_buf = np.empty(self.n, dtype=np.int64)
+        self._adjacency = None
+        self._adjacency_t = None
+
+    # -- sparse-matrix views (the fast engines' form of the kernel) --------
+
+    @property
+    def adjacency(self):
+        """Sparse ``(n, n)`` int32 CSR sender -> receiver matrix.
+
+        ``mask_int32 @ adjacency`` yields per-receiver hit counts; built
+        lazily so engines that never need the matrix form (the
+        event-driven engine) keep scipy off their import path.
+        """
+        if self._adjacency is None:
+            from scipy import sparse
+
+            data = np.ones(len(self.indices), dtype=np.int32)
+            self._adjacency = sparse.csr_matrix(
+                (data, self.indices.astype(np.int32), self.indptr),
+                shape=(self.n, self.n), dtype=np.int32,
+            )
+            self._adjacency.sort_indices()  # canonical form for scipy fast paths
+        return self._adjacency
+
+    @property
+    def adjacency_t(self):
+        """Transposed adjacency as CSR, for the batched sparse-first form
+        ``(adj^T @ mask^T)^T`` (see :class:`~repro.sim.fast.BatchedFastEngine`)."""
+        if self._adjacency_t is None:
+            self._adjacency_t = self.adjacency.T.tocsr()
+        return self._adjacency_t
+
+    # -- sparse-transmitter resolution (the event engine's form) -----------
+
+    def resolve(self, tx: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve one slot for a sparse set of transmitters.
+
+        Args:
+            tx: ``int64`` array of transmitting node *indices* (non-empty).
+
+        Returns:
+            ``(hits, sender_of, touched)``: ``hits[i]`` is the number of
+            transmitting in-neighbours of node ``i``; ``sender_of[i]`` is
+            the index of the transmitter heard at ``i``, valid exactly
+            where ``hits[i] == 1`` (elsewhere it holds stale data);
+            ``touched`` is the concatenation of the transmitters'
+            neighbour lists — every index with ``hits > 0``, appearing
+            once per hit, so callers can restrict their scans to the
+            reached part of the network instead of all ``n`` nodes.
+        """
+        indptr, indices = self.indptr, self.indices
+        sender_of = self._sender_buf
+        if len(tx) == 1:
+            t = int(tx[0])
+            cat = indices[indptr[t]:indptr[t + 1]]
+            sender_of[cat] = t
+        else:
+            cat = np.concatenate(
+                [indices[indptr[t]:indptr[t + 1]] for t in tx]
+            )
+            lengths = indptr[tx + 1] - indptr[tx]
+            sender_of[cat] = np.repeat(tx, lengths)
+        hits = np.bincount(cat, minlength=self.n)
+        return hits, sender_of, cat

@@ -16,6 +16,14 @@ Two engines live here:
   the channel for *every* trial simultaneously.  This is the workhorse of
   :func:`run_broadcast_batch` and the sweep runner.
 
+*Adaptive* algorithms — the paper's token algorithms, whose decisions do
+depend on message contents — cannot be vectorised this way, but they have
+their own fast path: the event-driven engine in :mod:`repro.sim.event`,
+driven by ``Protocol.quiet_until`` idle hints.  Both engine families
+resolve the channel from the same precompiled topology,
+:class:`repro.sim.channel.ChannelKernel` — this module uses its sparse
+``adjacency`` views, the event engine its CSR neighbour arrays.
+
 Semantics are identical to :class:`repro.sim.engine.SynchronousEngine`
 (verified per-node, per-slot by ``tests/sim/test_differential.py``):
 exactly-one reception, half-duplex, no spontaneous transmissions, nodes
@@ -31,10 +39,10 @@ from time import perf_counter
 from typing import Protocol as TypingProtocol, Sequence, runtime_checkable
 
 import numpy as np
-from scipy import sparse
 
 from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
 from ..obs.timings import Timings
+from .channel import ChannelKernel
 from .coins import CoinSource, derive_trial_seeds
 from .errors import ConfigurationError
 from .faults import CompiledFaults, FaultCounters, FaultPlan, compile_faults, derive_fault_seed
@@ -98,19 +106,6 @@ class VectorizedAlgorithm(TypingProtocol):
         ...  # pragma: no cover - protocol definition
 
 
-def _build_adjacency(network: RadioNetwork, index: dict[int, int]) -> sparse.csr_matrix:
-    """Sparse sender -> receiver adjacency over engine node indices."""
-    rows, cols = [], []
-    for sender, nbrs in network.out_neighbors.items():
-        si = index[sender]
-        for receiver in nbrs:
-            rows.append(si)
-            cols.append(index[receiver])
-    n = network.n
-    data = np.ones(len(rows), dtype=np.int32)
-    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n), dtype=np.int32)
-
-
 def _check_vectorized(algorithm) -> None:
     if not isinstance(algorithm, VectorizedAlgorithm):
         raise ConfigurationError(
@@ -151,12 +146,19 @@ class FastEngine:
         self.network = network
         self.algorithm = algorithm
         self.seed = seed
-        self.labels = np.array(network.nodes, dtype=np.int64)
-        self._index = {label: i for i, label in enumerate(self.labels)}
-        self.adjacency = _build_adjacency(network, self._index)
+        kernel = ChannelKernel(network)
+        self.labels = kernel.labels
+        self._index = kernel.index
+        self.adjacency = kernel.adjacency
         self.coins = CoinSource.for_run(seed, self.labels)
         self.wake_steps = np.full(network.n, ASLEEP, dtype=np.int64)
         self.wake_steps[self._index[network.source]] = -1
+        # Hot-loop scratch buffers: the per-slot int32 transmit vector and
+        # the boolean collision temporaries are written in place instead of
+        # freshly allocated every slot (see run_step).
+        self._mask_i32 = np.empty(network.n, dtype=np.int32)
+        self._coll_buf = np.empty(network.n, dtype=bool)
+        self._not_tx_buf = np.empty(network.n, dtype=bool)
         self.step = 0
         self.timings = timings
         self.metrics = metrics
@@ -231,10 +233,14 @@ class FastEngine:
             mask &= alive  # crashed nodes are silent forever
         n_coll = 0
         if mask.any():
-            hits = mask.astype(np.int32) @ self.adjacency
+            mask_i32 = self._mask_i32
+            mask_i32[:] = mask  # in-place bool -> int32 cast, no allocation
+            hits = mask_i32 @ self.adjacency
             hits = np.asarray(hits).ravel()
             if self.metrics is not None:
-                n_coll = int(((hits >= 2) & ~mask).sum())
+                coll = np.greater_equal(hits, 2, out=self._coll_buf)
+                coll &= np.logical_not(mask, out=self._not_tx_buf)
+                n_coll = int(coll.sum())
             if cf is None:
                 # Exactly-one rule; transmitters cannot receive (half-duplex)
                 # but they are already informed, so only sleepers matter.
@@ -353,15 +359,21 @@ class BatchedFastEngine:
         self.algorithm = algorithm
         self.seeds = [int(s) for s in seeds]
         self.trials = len(self.seeds)
-        self.labels = np.array(network.nodes, dtype=np.int64)
-        self._index = {label: i for i, label in enumerate(self.labels)}
-        adjacency = _build_adjacency(network, self._index)
+        kernel = ChannelKernel(network)
+        self.labels = kernel.labels
+        self._index = kernel.index
         # (T, n) @ (n, n) as (adj^T @ mask^T)^T: sparse-first keeps scipy on
         # its fast CSR path for every trial count.
-        self._adjacency_t = adjacency.T.tocsr()
+        self._adjacency_t = kernel.adjacency_t
         self.coins = CoinSource.for_batch(self.seeds, self.labels)
         self.wake_steps = np.full((self.trials, network.n), ASLEEP, dtype=np.int64)
         self.wake_steps[:, self._index[network.source]] = -1
+        # Hot-loop scratch buffers (see FastEngine): per-slot int32
+        # transmit matrix and boolean collision temporaries, written in
+        # place instead of freshly allocated every slot.
+        self._mask_i32 = np.empty((network.n, self.trials), dtype=np.int32)
+        self._coll_buf = np.empty((self.trials, network.n), dtype=bool)
+        self._not_tx_buf = np.empty((self.trials, network.n), dtype=bool)
         self.step = 0
         self.timings = timings
         self.metrics = metrics
@@ -478,9 +490,13 @@ class BatchedFastEngine:
             mask = mask & alive  # crashed nodes are silent forever
         collisions = None
         if mask.any():
-            hits = (self._adjacency_t @ mask.T.astype(np.int32)).T
+            mask_i32 = self._mask_i32
+            mask_i32[:] = mask.T  # in-place bool -> int32 cast, no allocation
+            hits = (self._adjacency_t @ mask_i32).T
             if self.metrics is not None:
-                collisions = ((hits >= 2) & ~mask).sum(axis=1)
+                coll = np.greater_equal(hits, 2, out=self._coll_buf)
+                coll &= np.logical_not(mask, out=self._not_tx_buf)
+                collisions = coll.sum(axis=1)
             if cf is None:
                 newly = (~awake) & (hits == 1)
             else:

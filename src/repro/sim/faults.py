@@ -156,6 +156,21 @@ class FaultPlan:
             and self.loss_probability == 0.0
         )
 
+    def event_slots(self) -> tuple[int, ...]:
+        """Sorted slots at which some *scheduled* fault event lands.
+
+        Covers crash slots, jammed slots, and wake-delay expiry slots —
+        the discrete events whose slot boundaries the event-driven
+        engine must not compress across (see
+        :class:`~repro.sim.event.EventDrivenEngine`).  Probabilistic
+        loss has no schedule: it only acts on actual deliveries, which
+        by definition never happen inside a compressed silent window.
+        """
+        slots = {slot for _, slot in self.crashes}
+        slots.update(slot for slot, _ in self.jams)
+        slots.update(slot for _, slot in self.wake_delays)
+        return tuple(sorted(slots))
+
     def validate_for(self, network: RadioNetwork) -> None:
         """Check every referenced label exists in ``network``."""
         for what, labels in (

@@ -36,7 +36,13 @@ from typing import Any
 
 from .messages import Message
 
-__all__ = ["Protocol", "BroadcastAlgorithm", "ObliviousTransmitter"]
+__all__ = ["Protocol", "BroadcastAlgorithm", "ObliviousTransmitter", "QUIET_FOREVER"]
+
+#: Sentinel return value for :meth:`Protocol.quiet_until`: the node will
+#: stay quiet until some future message re-activates it.  Far above any
+#: reachable slot number yet small enough that ``slot + QUIET_FOREVER``
+#: arithmetic cannot overflow 64-bit integers.
+QUIET_FOREVER: int = 1 << 62
 
 
 class Protocol(ABC):
@@ -85,6 +91,28 @@ class Protocol(ABC):
         model makes these cases indistinguishable.  Protocols that only act
         on their own clock may ignore this hook.
         """
+
+    def quiet_until(self, step: int) -> int:
+        """Idle hint: the first slot at or after ``step`` needing attention.
+
+        Returning ``s > step`` is a *promise* covering every slot ``t`` in
+        ``[step, s)``: the node would return ``None`` from
+        :meth:`next_action` at ``t``, and observing silence (or the
+        collision marker) at ``t`` would not change its behaviour.  The
+        promise says nothing about slots ``>= s`` and is void as soon as a
+        message is delivered to the node — the event-driven engine
+        re-queries the hint after every delivery.  Returning ``step``
+        itself (the default) makes no promise at all: the node is polled
+        every slot, exactly as on the reference engine.
+
+        Returning :data:`QUIET_FOREVER` means "quiet until spoken to".
+        The hint is consulted only by
+        :class:`~repro.sim.event.EventDrivenEngine`; the reference
+        engine ignores it, which is what the differential suite uses to
+        prove hints sound.  The full contract is specified in
+        ``docs/MODEL.md``.
+        """
+        return step
 
     # ------------------------------------------------------------------
 
