@@ -749,8 +749,11 @@ def main(argv: list[str] | None = None) -> int:
     p_prof_run.add_argument("--algorithm", default="kp", choices=ALGORITHM_CHOICES)
     p_prof_run.add_argument("--engine", default="auto",
                             choices=["auto", "batch", "reference"],
-                            help="engine to profile (auto picks batch when "
-                                 "the algorithm is vectorised)")
+                            help="engine to profile (auto/batch run all "
+                                 "trials as one batch: the array engine for "
+                                 "vectorised algorithms, the batched event "
+                                 "engine otherwise; reference forces the "
+                                 "serial per-node engine)")
     p_prof_run.add_argument("--trials", type=int, default=10)
     p_prof_run.add_argument("--seed", type=int, default=0)
     _add_profile_report_args(p_prof_run)

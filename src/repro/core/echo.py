@@ -259,14 +259,23 @@ class QuietEchoSchedule:
     ``_awaiting`` is cleared, after 2 Echo slots, or 1 under native
     collision detection).  A stopped node is terminally quiet.  Message
     deliveries re-activate a node regardless of any promise — the
-    event-driven engine re-queries this hint after every delivery, which
-    is what makes returning :data:`~repro.sim.protocol.QUIET_FOREVER`
-    safe (contract: ``docs/MODEL.md``).
+    event-driven engines (serial :class:`~repro.sim.event.EventDrivenEngine`
+    and batched :class:`~repro.sim.batched_event.BatchedEventEngine` alike)
+    re-query this hint after every delivery, which is what makes returning
+    :data:`~repro.sim.protocol.QUIET_FOREVER` safe (contract:
+    ``docs/MODEL.md``).
+
+    The hint is hot in batched runs — every execution class re-polls its
+    busy nodes each shared-clock iteration — so the common case (a
+    transmission scheduled for the current slot) short-circuits before
+    the scheduled-dict scan.
     """
 
     def quiet_until(self, step: int) -> int:
         if self.stopped:
             return QUIET_FOREVER  # terminal: never transmits again
+        if step in self.scheduled:
+            return step  # transmitting now: no earlier bound can matter
         awaiting = self._awaiting
         bound = QUIET_FOREVER
         if awaiting is not None:

@@ -16,8 +16,17 @@ from .base import ExperimentReport, register
 
 
 def _batch_times(net, algorithm, runs: int) -> list[int]:
-    """Trial times for seeds 0..runs-1, all trials in one batched run."""
-    return [r.time for r in run_broadcast_batch(net, algorithm, trials=runs)]
+    """Trial times for seeds 0..runs-1, all trials in one batched run.
+
+    ``engine="auto"`` dispatches per algorithm: the oblivious KP/BGI
+    schedules here take the ``(trials, n)`` array engine, any adaptive
+    algorithm would take the batched event engine — same results either
+    way (the conformance suite pins trial-for-trial identity).
+    """
+    return [
+        r.time
+        for r in run_broadcast_batch(net, algorithm, trials=runs, engine="auto")
+    ]
 
 FULL_CASES = [
     (256, 4), (256, 16), (256, 64),

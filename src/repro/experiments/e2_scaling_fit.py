@@ -24,8 +24,17 @@ from .base import ExperimentReport, register
 
 
 def _batch_times(net, algorithm, runs: int) -> list[int]:
-    """Trial times for seeds 0..runs-1, all trials in one batched run."""
-    return [r.time for r in run_broadcast_batch(net, algorithm, trials=runs)]
+    """Trial times for seeds 0..runs-1, all trials in one batched run.
+
+    ``engine="auto"`` dispatches per algorithm: the oblivious schedules
+    here take the ``(trials, n)`` array engine, any adaptive algorithm
+    would take the batched event engine — same results either way (the
+    conformance suite pins trial-for-trial identity).
+    """
+    return [
+        r.time
+        for r in run_broadcast_batch(net, algorithm, trials=runs, engine="auto")
+    ]
 
 FULL_SWEEP = [
     (256, 8), (256, 32), (256, 64), (256, 128),

@@ -11,7 +11,7 @@ from ..analysis import (
     render_table,
 )
 from ..core import CompleteLayeredBroadcast
-from ..sim import run_broadcast
+from ..sim import repeat_broadcast
 from ..topology import km_hard_layered, uniform_complete_layered
 from .base import ExperimentReport, register
 
@@ -34,8 +34,12 @@ def run(quick: bool = False) -> ExperimentReport:
     rows, times, params = [], [], []
     for n, d in shape_cases:
         net = uniform_complete_layered(n, d)
-        result = run_broadcast(
-            net, CompleteLayeredBroadcast(), require_completion=True, engine="event"
+        # Complete-Layered is deterministic and hint-exact: the batch
+        # path routes it through the batched event engine, one run
+        # covering the estimate bit-identically to the reference.
+        (result,) = repeat_broadcast(
+            net, CompleteLayeredBroadcast(), runs=1, engine="batch",
+            require_completion=True,
         )
         rows.append([
             n, d, result.time,
@@ -65,8 +69,12 @@ def run(quick: bool = False) -> ExperimentReport:
     rows2, ratios = [], []
     for n, d in refutation_cases:
         net = uniform_complete_layered(n, d)
-        result = run_broadcast(
-            net, CompleteLayeredBroadcast(), require_completion=True, engine="event"
+        # Complete-Layered is deterministic and hint-exact: the batch
+        # path routes it through the batched event engine, one run
+        # covering the estimate bit-identically to the reference.
+        (result,) = repeat_broadcast(
+            net, CompleteLayeredBroadcast(), runs=1, engine="batch",
+            require_completion=True,
         )
         claimed = claimed_cms_undirected_bound(n, d)
         ratios.append(result.time / claimed)
@@ -87,8 +95,12 @@ def run(quick: bool = False) -> ExperimentReport:
     rows3 = []
     for seed in range(2 if quick else 3):
         net = km_hard_layered(1024, 64, seed=seed)
-        result = run_broadcast(
-            net, CompleteLayeredBroadcast(), require_completion=True, engine="event"
+        # Complete-Layered is deterministic and hint-exact: the batch
+        # path routes it through the batched event engine, one run
+        # covering the estimate bit-identically to the reference.
+        (result,) = repeat_broadcast(
+            net, CompleteLayeredBroadcast(), runs=1, engine="batch",
+            require_completion=True,
         )
         rows3.append([seed, result.time,
                       result.time / complete_layered_bound(1024, 64)])

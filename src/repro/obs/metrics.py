@@ -136,16 +136,27 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.sum / self.total if self.total else 0.0
 
-    def merge(self, other: "Histogram") -> None:
-        """Fold another histogram with identical edges into this one."""
+    def merge(self, other: "Histogram", weight: int = 1) -> None:
+        """Fold another histogram with identical edges into this one.
+
+        ``weight > 1`` folds ``other`` in with multiplicity, exactly as if
+        ``weight`` identical copies had been merged: bucket counts, total,
+        and sum scale; min/max do not (repeating observations cannot move
+        the extremes).  The batched event engine uses this to account one
+        representative execution for a whole class of identical trials.
+        """
         if other.edges != self.edges:
             raise ValueError(
                 f"cannot merge histogram {other.name!r}: edges differ "
                 f"({other.edges} vs {self.edges})"
             )
-        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
-        self.total += other.total
-        self.sum += other.sum
+        if weight < 1:
+            raise ValueError(f"merge weight must be positive, got {weight}")
+        self.counts = [
+            a + b * weight for a, b in zip(self.counts, other.counts)
+        ]
+        self.total += other.total * weight
+        self.sum += other.sum * weight
         for bound in (other.minimum,):
             if bound is not None and (self.minimum is None or bound < self.minimum):
                 self.minimum = bound
@@ -200,17 +211,27 @@ class MetricsRegistry:
             )
         return instrument
 
-    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
-        """Fold another registry's instruments into this one."""
+    def merge(self, other: "MetricsRegistry", weight: int = 1) -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        ``weight > 1`` merges with multiplicity: counters and histogram
+        tallies count as if ``weight`` identical registries had been
+        folded in, while gauges (last-observed values) are simply taken
+        from ``other`` regardless of weight.  This is how an execution
+        class of ``weight`` provably-identical trials accounts for all
+        its members at once.
+        """
+        if weight < 1:
+            raise ValueError(f"merge weight must be positive, got {weight}")
         for name, counter in other.counters.items():
-            self.counter(name).inc(counter.value)
+            self.counter(name).inc(counter.value * weight)
         for name, gauge in other.gauges.items():
             self.gauge(name).set(gauge.value)
         for name, histogram in other.histograms.items():
             mine = self.histograms.get(name)
             if mine is None:
                 mine = self.histogram(name, histogram.edges)
-            mine.merge(histogram)
+            mine.merge(histogram, weight)
         return self
 
     def to_dict(self) -> dict:

@@ -6,6 +6,7 @@ spontaneous transmissions, labels in ``{0..r}`` with only the own label and
 ``r`` known a priori.
 """
 
+from .batched_event import BatchedEventEngine
 from .channel import ChannelKernel
 from .coins import CoinSource, NodeRandom, coin_uniform
 from .engine import SynchronousEngine
@@ -47,6 +48,7 @@ from .trace import StepRecord, Trace, TraceLevel
 
 __all__ = [
     "ASLEEP",
+    "BatchedEventEngine",
     "BatchedFastEngine",
     "BroadcastAlgorithm",
     "BroadcastIncompleteError",

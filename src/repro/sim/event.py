@@ -73,6 +73,14 @@ class EventDrivenEngine(SynchronousEngine):
     :meth:`repro.sim.protocol.Protocol.quiet_until`.  Engine-side, per
     slot only the nodes whose quiet window expired are polled, and runs
     of provably silent slots are executed as one jump.
+
+    ``kernel`` lets a caller share one precompiled
+    :class:`~repro.sim.channel.ChannelKernel` across several engines on
+    the same topology — the batched engine
+    (:class:`~repro.sim.batched_event.BatchedEventEngine`) compiles the
+    CSR arrays once per batch, not once per trial.  Sharing is safe for
+    engines stepped *sequentially* (the kernel keeps per-resolve scratch
+    buffers), which is how the batch steps its trials.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class EventDrivenEngine(SynchronousEngine):
         faults: FaultPlan | None = None,
         metrics: MetricsRegistry | None = None,
         timings: Timings | None = None,
+        kernel: ChannelKernel | None = None,
     ) -> None:
         super().__init__(
             network,
@@ -98,7 +107,11 @@ class EventDrivenEngine(SynchronousEngine):
             metrics=metrics,
             timings=timings,
         )
-        self._kernel = ChannelKernel(network)
+        if kernel is not None and kernel.network is not network:
+            raise ConfigurationError(
+                "shared channel kernel was compiled for a different network"
+            )
+        self._kernel = kernel if kernel is not None else ChannelKernel(network)
         self._out_nbrs = network.out_neighbors
         #: Scratch transmit flags for the multi-transmitter metric path.
         self._tx_flag = np.zeros(network.n, dtype=bool)

@@ -681,7 +681,7 @@ def run_broadcast_fast(
 
 def run_broadcast_batch(
     network: RadioNetwork,
-    algorithm: VectorizedAlgorithm,
+    algorithm,
     seeds: Sequence[int] | None = None,
     trials: int | None = None,
     base_seed: int = 0,
@@ -689,18 +689,37 @@ def run_broadcast_batch(
     faults: FaultPlan | None = None,
     metrics: MetricsRegistry | None = None,
     timings: Timings | None = None,
+    engine: str = "auto",
+    trace_level: TraceLevel = TraceLevel.NONE,
+    collision_detection: bool = False,
+    step_hooks=None,
 ) -> list[BroadcastResult]:
-    """Run many Monte-Carlo trials of one broadcast as a single array program.
+    """Run many Monte-Carlo trials of one broadcast as a single batch.
 
     Result ``i`` is *identical* (per-node wake slots and fault counters
-    included) to ``run_broadcast_fast(network, algorithm, seed=seeds[i],
-    faults=faults)`` — batching is purely an execution strategy, not a
-    semantic variant.
+    included) to the corresponding single-run engine with seed
+    ``seeds[i]`` — batching is purely an execution strategy, not a
+    semantic variant.  Two batch engines implement it:
+
+    * ``"batched_fast"`` — the ``(trials, n)`` array program of
+      :class:`BatchedFastEngine`; oblivious
+      (:class:`VectorizedAlgorithm`) algorithms only, trial ``i``
+      reproduces ``run_broadcast_fast(..., seed=seeds[i])``.
+    * ``"batched_event"`` — the shared-clock
+      :class:`~repro.sim.batched_event.BatchedEventEngine`; any
+      protocol-based algorithm, trial ``i`` reproduces
+      ``run_broadcast(..., seed=seeds[i], engine="event")`` slot for
+      slot (traces, hooks, and fault counters included).
+
+    ``"auto"`` (the default) picks ``batched_fast`` when the algorithm is
+    vectorisable and ``batched_event`` otherwise, which makes this the
+    single batched entry point for every algorithm in the repo.
 
     Args:
         network: Topology to broadcast on.
-        algorithm: Oblivious algorithm implementing
-            :class:`VectorizedAlgorithm`.
+        algorithm: A :class:`VectorizedAlgorithm` and/or
+            :class:`~repro.sim.protocol.BroadcastAlgorithm` (see the
+            engine table above).
         seeds: Explicit per-trial master seeds.  Mutually exclusive with
             ``trials``.
         trials: Number of trials; seeds default to
@@ -715,8 +734,14 @@ def run_broadcast_batch(
             receiving per-trial-slot engine tallies and per-trial run
             summaries.
         timings: Optional :class:`~repro.obs.timings.Timings`; the batch
-            runs as one array program, so every returned result carries
-            the *same* (shared) timings object.
+            runs as one program, so every returned result carries the
+            *same* (shared) timings object.
+        engine: ``"auto"``, ``"batched_fast"``, or ``"batched_event"``.
+        trace_level: Per-trial channel traces (``batched_event`` only —
+            the array engine records none).
+        collision_detection: CD model variant (``batched_event`` only).
+        step_hooks: Optional per-trial step hooks (``batched_event``
+            only), one entry per trial.
 
     Returns:
         One :class:`~repro.sim.run.BroadcastResult` per trial, in seed order.
@@ -733,6 +758,31 @@ def run_broadcast_batch(
         max_steps = default_max_steps(network, algorithm)
     if timings is None and metrics is not None:
         timings = Timings()
+    if engine == "auto":
+        engine = (
+            "batched_fast"
+            if isinstance(algorithm, VectorizedAlgorithm)
+            else "batched_event"
+        )
+    if engine == "batched_event":
+        return _run_batched_event(
+            network, algorithm, seeds, max_steps, faults, metrics, timings,
+            trace_level, collision_detection, step_hooks,
+        )
+    if engine != "batched_fast":
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'auto', 'batched_fast', "
+            f"or 'batched_event'"
+        )
+    if (
+        trace_level is not TraceLevel.NONE
+        or collision_detection
+        or step_hooks is not None
+    ):
+        raise ConfigurationError(
+            "traces, collision detection, and step hooks require "
+            "engine='batched_event' (the array engine records none)"
+        )
     engine = BatchedFastEngine(
         network, algorithm, seeds, faults=faults,
         metrics=metrics, timings=timings,
@@ -755,6 +805,46 @@ def run_broadcast_batch(
             wake_times=wake_times,
             layer_times=_layer_times(network, wake_times),
             trace=Trace(level=TraceLevel.NONE),
+            fault_counters=engine.fault_counters_for(t),
+            timings=timings,
+        )
+        if metrics is not None:
+            _record_result_metrics(metrics, result, engine.transmission_counts(t))
+        results.append(result)
+    return results
+
+
+def _run_batched_event(
+    network, algorithm, seeds, max_steps, faults, metrics, timings,
+    trace_level, collision_detection, step_hooks,
+) -> list[BroadcastResult]:
+    """The ``engine="batched_event"`` arm of :func:`run_broadcast_batch`."""
+    # Imported lazily to keep the oblivious array path's import graph flat.
+    from .batched_event import BatchedEventEngine
+
+    engine = BatchedEventEngine(
+        network, algorithm, seeds,
+        faults=faults, metrics=metrics, timings=timings,
+        trace_level=trace_level, collision_detection=collision_detection,
+        step_hooks=step_hooks,
+    )
+    engine.run(max_steps)
+    times = engine.completion_times()
+    results = []
+    for t, seed in enumerate(engine.seeds):
+        completed = times[t] is not None
+        wake_times = engine.wake_times(t)
+        result = BroadcastResult(
+            completed=completed,
+            time=times[t] if completed else engine.trial_steps(t),
+            informed=len(wake_times),
+            n=network.n,
+            radius=network.radius,
+            algorithm=algorithm.name,
+            seed=seed,
+            wake_times=wake_times,
+            layer_times=_layer_times(network, wake_times),
+            trace=engine.trace_for(t),
             fault_counters=engine.fault_counters_for(t),
             timings=timings,
         )

@@ -269,16 +269,19 @@ def repeat_broadcast(
     deterministic algorithm's trials differ — the loss stream is keyed by
     the trial seed — so the collapse only applies when loss is off.)
 
-    Oblivious algorithms (anything implementing
-    :class:`~repro.sim.fast.VectorizedAlgorithm`) execute all trials as
-    one batched array program (:func:`~repro.sim.fast.run_broadcast_batch`)
-    — per-trial results are identical to the serial path, only faster.
+    Unless ``engine="reference"`` is forced, all trials execute as one
+    batch through :func:`~repro.sim.fast.run_broadcast_batch`: oblivious
+    algorithms (anything implementing
+    :class:`~repro.sim.fast.VectorizedAlgorithm`) as a ``(trials, n)``
+    array program, every other algorithm through the shared-clock
+    :class:`~repro.sim.batched_event.BatchedEventEngine`.  Per-trial
+    results are identical to the serial path, only faster.
 
     Args:
-        engine: ``"auto"`` (batch when the algorithm is vectorisable),
-            ``"batch"`` (require the batched path), or ``"reference"``
-            (force the serial per-node engine, e.g. for benchmarking or
-            protocols with message-dependent behaviour).
+        engine: ``"auto"`` or ``"batch"`` (run all trials as one batch —
+            the two are now synonyms, kept for call-site compatibility),
+            or ``"reference"`` (force the serial per-node engine, e.g.
+            for benchmarking the batch paths against it).
         faults: Optional :class:`~repro.sim.faults.FaultPlan` applied to
             every trial (the loss realisation still differs per trial).
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
@@ -296,32 +299,27 @@ def repeat_broadcast(
         timings = Timings()
     if engine != "reference":
         # Imported lazily: fast.py imports this module for BroadcastResult.
-        from .fast import VectorizedAlgorithm, run_broadcast_batch
+        from .fast import run_broadcast_batch
 
-        if isinstance(algorithm, VectorizedAlgorithm):
-            results = run_broadcast_batch(
-                network,
-                algorithm,
-                trials=runs,
-                base_seed=base_seed,
-                max_steps=max_steps,
-                faults=faults,
-                metrics=metrics,
-                timings=timings,
-            )
-            if require_completion:
-                for result in results:
-                    if not result.completed:
-                        raise BroadcastIncompleteError(
-                            f"{algorithm.name} informed {result.informed}/"
-                            f"{network.n} nodes (seed {result.seed})",
-                            result=result,
-                        )
-            return results
-        if engine == "batch":
-            raise ConfigurationError(
-                f"{algorithm!r} does not implement the vectorised interface"
-            )
+        results = run_broadcast_batch(
+            network,
+            algorithm,
+            trials=runs,
+            base_seed=base_seed,
+            max_steps=max_steps,
+            faults=faults,
+            metrics=metrics,
+            timings=timings,
+        )
+        if require_completion:
+            for result in results:
+                if not result.completed:
+                    raise BroadcastIncompleteError(
+                        f"{algorithm.name} informed {result.informed}/"
+                        f"{network.n} nodes (seed {result.seed})",
+                        result=result,
+                    )
+        return results
     return [
         run_broadcast(
             network,

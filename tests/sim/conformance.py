@@ -1,0 +1,484 @@
+"""Cross-engine conformance harness: one semantics, five execution strategies.
+
+Every engine in the repo — the per-node reference
+:class:`~repro.sim.engine.SynchronousEngine`, the vectorised
+:class:`~repro.sim.fast.FastEngine` and multi-trial
+:class:`~repro.sim.fast.BatchedFastEngine`, the adaptive serial
+:class:`~repro.sim.event.EventDrivenEngine`, and the adaptive batched
+:class:`~repro.sim.batched_event.BatchedEventEngine` — is a pure
+execution strategy over the same synchronous radio semantics.  This
+module is the shared substrate the differential tests are built from:
+
+* the canonical **matrices** (oblivious algorithms, adaptive protocol
+  cases, topologies, fault plans, trial seeds) that used to be
+  copy-pasted across ``test_differential.py``, ``test_event_engine.py``
+  and ``test_faults.py``;
+* an **engine registry** (:data:`ENGINES`): each engine registers a
+  uniform runner plus capability flags, and ``test_conformance.py``
+  drives every registered engine through the full matrix — adding an
+  engine to the repo means adding one :func:`register_engine` call here;
+* **comparison helpers** asserting slot-for-slot execution identity
+  (results, traces, fault counters, aggregated metrics) against the
+  reference engine, including identical *failures*;
+* the **hint-honesty wrappers** (:class:`HintCheckedAlgorithm`) and the
+  reusable hypothesis strategy for faulty cases.
+
+The module name has no ``test_`` prefix on purpose: pytest does not
+collect it, test modules import from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BGIBroadcast,
+    CentralizedGreedySchedule,
+    RoundRobinBroadcast,
+    SelectiveFamilyBroadcast,
+)
+from repro.core import (
+    CompleteLayeredBroadcast,
+    KnownRadiusKP,
+    OptimalRandomizedBroadcasting,
+    SelectAndSend,
+    TokenGossip,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import FaultPlan, run_broadcast
+from repro.sim.errors import ProtocolViolationError
+from repro.sim.fast import run_broadcast_batch, run_broadcast_fast
+from repro.sim.messages import CollisionMarker
+from repro.sim.protocol import BroadcastAlgorithm, Protocol
+from repro.sim.trace import TraceLevel
+from repro.topology import (
+    gnp_connected,
+    km_hard_layered,
+    path,
+    random_tree,
+    star,
+    uniform_complete_layered,
+)
+
+# ----------------------------------------------------------------------
+# Canonical matrices
+# ----------------------------------------------------------------------
+
+#: Per-trial master seeds; a duplicate would still be legal (identical
+#: executions) but distinct values exercise genuinely independent trials.
+SEEDS = [0, 1, 5]
+
+#: Oblivious algorithms (dual interface: BroadcastAlgorithm and
+#: VectorizedAlgorithm) — every engine can run these.  Small stage
+#: constants keep the randomized schedules short; every other parameter
+#: is the library default.
+OBLIVIOUS_ALGORITHMS = {
+    "kp-known-d": lambda net: KnownRadiusKP(
+        net.r, max(1, net.radius), stage_constant=4
+    ),
+    "kp-optimal": lambda net: OptimalRandomizedBroadcasting(net.r, stage_constant=4),
+    "bgi": lambda net: BGIBroadcast(net.r),
+    "round-robin": lambda net: RoundRobinBroadcast(net.r),
+    "selective-family": lambda net: SelectiveFamilyBroadcast(net.r, "random"),
+    "centralized": lambda net: CentralizedGreedySchedule(net),
+}
+
+#: Topologies for the oblivious matrix.
+OBLIVIOUS_TOPOLOGIES = {
+    "path": lambda: path(9),
+    "star": lambda: star(8),
+    "layered": lambda: uniform_complete_layered(30, 3),
+    "km-hard": lambda: km_hard_layered(48, 4, seed=5),
+}
+
+#: Adaptive protocol cases: name -> (network builder, algorithm builder,
+#: collision_detection).  Select-and-Send runs on arbitrary topologies;
+#: Complete-Layered only on the complete layered class it is correct
+#: for.  TokenGossip wraps S&S without implementing ``quiet_until`` — it
+#: exercises the unhinted default (polled every slot) on the event
+#: engines.
+ADAPTIVE_CASES = {
+    "ss-path": (lambda: path(24, relabel="shuffled", seed=5), SelectAndSend, False),
+    "ss-tree": (lambda: random_tree(32, seed=3), SelectAndSend, False),
+    "ss-gnp": (lambda: gnp_connected(48, 0.12, seed=7), SelectAndSend, False),
+    "cl-uniform": (
+        lambda: uniform_complete_layered(48, 5, relabel_seed=2),
+        CompleteLayeredBroadcast,
+        False,
+    ),
+    "cl-km": (lambda: km_hard_layered(48, 6, seed=4), CompleteLayeredBroadcast, False),
+    "cl-native-cd": (
+        lambda: uniform_complete_layered(48, 5, relabel_seed=2),
+        lambda: CompleteLayeredBroadcast(native_cd=True),
+        True,
+    ),
+    "gossip-unhinted": (lambda: path(10), TokenGossip, False),
+}
+
+
+def crash_jam_delay_plan(net) -> FaultPlan:
+    """All fault families except loss (the adaptive token algorithms are
+    not loss-tolerant; the loss case is tested as identical *failure*)."""
+    labels = sorted(set(net.nodes) - {net.source})
+    return FaultPlan(
+        crashes=((labels[-1], 9),),
+        jams=tuple((slot, labels[0]) for slot in range(6)),
+        wake_delays=((labels[1], 7),),
+        seed=23,
+    )
+
+
+def full_fault_plan(net) -> FaultPlan:
+    """A nontrivial plan touching all four fault families (loss 0.3)
+    without disconnecting the source — for loss-tolerant algorithms."""
+    labels = sorted(set(net.nodes) - {net.source})
+    return FaultPlan(
+        crashes=((labels[-1], 9),),
+        jams=tuple((slot, labels[0]) for slot in range(6)),
+        loss_probability=0.3,
+        wake_delays=((labels[1], 7),),
+        seed=23,
+    )
+
+
+#: Fault-plan axes.  The oblivious algorithms tolerate loss, the token
+#: protocols do not (their loss behaviour is pinned as identical failure).
+OBLIVIOUS_PLANS = {"none": lambda net: None, "faulty": full_fault_plan}
+ADAPTIVE_PLANS = {"none": lambda net: None, "crash-jam-delay": crash_jam_delay_plan}
+
+
+# ----------------------------------------------------------------------
+# Engine registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one engine produced for a seed list: per-trial results in
+    seed order, the aggregated metrics snapshot (``None`` when the run
+    was uninstrumented), and the stringified first protocol violation
+    (``None`` on clean runs; results are unspecified when set)."""
+
+    results: tuple = ()
+    metrics: dict | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A registered engine: a uniform runner plus capability flags.
+
+    ``runner(net, algorithm_factory, seeds, faults, max_steps,
+    trace_level, collision_detection, with_metrics)`` must execute one
+    independent run per seed and return an :class:`Outcome`.  Serial
+    engines loop (one shared metrics registry, mirroring the batch
+    aggregate); batch engines run all seeds at once.
+
+    Capability flags gate matrix cells, they never weaken assertions:
+    an engine that *claims* a capability is held to bit-identity on it.
+    """
+
+    name: str
+    runner: Callable[..., Outcome]
+    #: Runs arbitrary BroadcastAlgorithm protocols (vs. oblivious only).
+    adaptive: bool = True
+    #: Records channel traces / supports the CD variant / records metrics
+    #: comparably to the reference engine.
+    traces: bool = True
+    collision_detection: bool = True
+    metrics: bool = True
+
+
+ENGINES: dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    if spec.name in ENGINES:
+        raise ValueError(f"engine {spec.name!r} already registered")
+    ENGINES[spec.name] = spec
+    return spec
+
+
+def _serial_runner(engine: str):
+    def run(net, make_algo, seeds, faults=None, max_steps=4000,
+            trace_level=TraceLevel.NONE, collision_detection=False,
+            with_metrics=False) -> Outcome:
+        metrics = MetricsRegistry() if with_metrics else None
+        results = []
+        for seed in seeds:
+            try:
+                results.append(run_broadcast(
+                    net, make_algo(net), seed=seed, engine=engine,
+                    faults=faults, max_steps=max_steps,
+                    trace_level=trace_level,
+                    collision_detection=collision_detection,
+                    metrics=metrics, require_completion=False,
+                ))
+            except ProtocolViolationError as exc:
+                return Outcome(tuple(results), None, str(exc))
+        return Outcome(
+            tuple(results), metrics.to_dict() if metrics else None, None
+        )
+
+    return run
+
+
+def _fast_runner(net, make_algo, seeds, faults=None, max_steps=4000,
+                 trace_level=TraceLevel.NONE, collision_detection=False,
+                 with_metrics=False) -> Outcome:
+    metrics = MetricsRegistry() if with_metrics else None
+    results = [
+        run_broadcast_fast(
+            net, make_algo(net), seed=seed, faults=faults,
+            max_steps=max_steps, metrics=metrics,
+        )
+        for seed in seeds
+    ]
+    return Outcome(tuple(results), metrics.to_dict() if metrics else None, None)
+
+
+def _batch_runner(engine: str):
+    def run(net, make_algo, seeds, faults=None, max_steps=4000,
+            trace_level=TraceLevel.NONE, collision_detection=False,
+            with_metrics=False) -> Outcome:
+        metrics = MetricsRegistry() if with_metrics else None
+        kwargs = {}
+        if engine == "batched_event":
+            kwargs = {
+                "trace_level": trace_level,
+                "collision_detection": collision_detection,
+            }
+        try:
+            results = run_broadcast_batch(
+                net, make_algo(net), seeds=list(seeds), engine=engine,
+                faults=faults, max_steps=max_steps, metrics=metrics,
+                **kwargs,
+            )
+        except ProtocolViolationError as exc:
+            return Outcome((), None, str(exc))
+        return Outcome(
+            tuple(results), metrics.to_dict() if metrics else None, None
+        )
+
+    return run
+
+
+register_engine(EngineSpec("reference", _serial_runner("reference")))
+register_engine(EngineSpec("event", _serial_runner("event")))
+register_engine(EngineSpec(
+    "fast", _fast_runner,
+    adaptive=False, traces=False, collision_detection=False, metrics=False,
+))
+register_engine(EngineSpec(
+    "batched_fast", _batch_runner("batched_fast"),
+    adaptive=False, traces=False, collision_detection=False, metrics=False,
+))
+register_engine(EngineSpec("batched_event", _batch_runner("batched_event")))
+
+
+def adaptive_engines() -> list[str]:
+    """Engines able to run arbitrary protocols (reference first)."""
+    names = sorted(ENGINES, key=lambda n: (n != "reference", n))
+    return [n for n in names if ENGINES[n].adaptive]
+
+
+def all_engines() -> list[str]:
+    """Every registered engine, reference first."""
+    return sorted(ENGINES, key=lambda n: (n != "reference", n))
+
+
+# ----------------------------------------------------------------------
+# Comparison helpers
+# ----------------------------------------------------------------------
+
+
+def comparable_metrics(snapshot: dict | None) -> dict | None:
+    """Strip batch-only bookkeeping from a metrics snapshot.
+
+    ``batch_active_trials`` is recorded only by the batch engines (there
+    is no serial counterpart); everything else must match the aggregate
+    of the serial runs exactly.
+    """
+    if snapshot is None:
+        return None
+    pruned = dict(snapshot)
+    pruned["gauges"] = {
+        name: value
+        for name, value in snapshot.get("gauges", {}).items()
+        if name != "batch_active_trials"
+    }
+    return pruned
+
+
+def assert_results_match(candidate, reference, key, compare_traces=False):
+    """Execution identity of one trial: the candidate engine's result
+    must equal the reference engine's, field for field."""
+    assert candidate.completed == reference.completed, key
+    assert candidate.time == reference.time, key
+    assert candidate.informed == reference.informed, key
+    assert candidate.seed == reference.seed, key
+    assert candidate.wake_times == reference.wake_times, key
+    assert candidate.layer_times == reference.layer_times, key
+    assert candidate.fault_counters == reference.fault_counters, key
+    if compare_traces:
+        # Slot-for-slot: every synthesized (compressed) slot must appear
+        # in the trace exactly as the reference engine's executed slot.
+        assert candidate.trace.steps == reference.trace.steps, key
+        assert (
+            candidate.trace.informed_counts == reference.trace.informed_counts
+        ), key
+        assert candidate.trace.wake_times == reference.trace.wake_times, key
+
+
+def assert_outcomes_match(candidate: Outcome, reference: Outcome, key,
+                          compare_traces=False, compare_metrics=False):
+    """Full conformance of one matrix cell against the reference engine.
+
+    Clean runs must agree trial by trial (plus aggregated metrics when
+    requested); failing runs must fail with the *same* error — the one a
+    serial seed-order loop surfaces first.
+    """
+    assert candidate.error == reference.error, key
+    if reference.error is not None:
+        return
+    assert len(candidate.results) == len(reference.results), key
+    for i, (mine, theirs) in enumerate(zip(candidate.results, reference.results)):
+        assert_results_match(mine, theirs, (*key, "trial", i), compare_traces)
+    if compare_metrics:
+        assert comparable_metrics(candidate.metrics) == comparable_metrics(
+            reference.metrics
+        ), key
+
+
+# ----------------------------------------------------------------------
+# Hint honesty: quiet promises can never hide an action.
+# ----------------------------------------------------------------------
+
+
+class HintCheckedProtocol(Protocol):
+    """Wrapper asserting the inner protocol honours its quiet promises.
+
+    Runs on any engine that polls every slot (the reference engine does;
+    the event engines delegate polled slots to the same code path).
+    Whenever the inner hint promises quiet through ``s``, every polled
+    slot before ``s`` must yield ``next_action(...) is None`` — the
+    actionable half of the ``quiet_until`` contract.  A message delivery
+    voids the promise, exactly as the event engines treat it.
+    """
+
+    def __init__(self, inner: Protocol):
+        super().__init__(inner.label, inner.r, inner.rng)
+        self._inner = inner
+        self._promised_until = -1
+        self._promised_at = -1
+
+    def on_wake(self, step, message):
+        self._inner.on_wake(step, message)
+
+    def quiet_until(self, step):
+        return self._inner.quiet_until(step)
+
+    def next_action(self, step):
+        quiet = self._inner.quiet_until(step)
+        assert quiet >= step, (
+            f"node {self.label}: quiet_until({step}) = {quiet} points backwards"
+        )
+        action = self._inner.next_action(step)
+        if step < self._promised_until:
+            assert action is None, (
+                f"node {self.label} acted in slot {step} despite promising "
+                f"(at slot {self._promised_at}) quiet until "
+                f"{self._promised_until}"
+            )
+        if quiet > step:
+            assert action is None, (
+                f"node {self.label} acted in slot {step} while hinting "
+                f"quiet until {quiet}"
+            )
+            if quiet > self._promised_until:
+                self._promised_until = quiet
+                self._promised_at = step
+        return action
+
+    def observe(self, step, message):
+        if message is not None and not isinstance(message, CollisionMarker):
+            # A real delivery voids the promise (the event engines re-poll
+            # receivers).  Silence and CD markers do NOT: keeping the
+            # recorded promise across them is what catches a protocol
+            # whose quiet window is secretly marker-sensitive.
+            self._promised_until = -1
+        self._inner.observe(step, message)
+
+
+class HintCheckedAlgorithm(BroadcastAlgorithm):
+    """Wraps an algorithm so every node checks its own hint honesty."""
+
+    def __init__(self, inner: BroadcastAlgorithm):
+        self._inner = inner
+        self.name = f"hint-checked({inner.name})"
+        self.deterministic = inner.deterministic
+
+    def create(self, label: int, r: int, rng: random.Random) -> Protocol:
+        return HintCheckedProtocol(self._inner.create(label, r, rng))
+
+    def max_steps_hint(self, n: int, r: int) -> int | None:
+        return self._inner.max_steps_hint(n, r)
+
+
+# ----------------------------------------------------------------------
+# Reusable hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def faulty_cases(draw):
+    """A small network plus a crash (and maybe loss) plan; yields
+    ``(net, plan, crashed_label, crash_slot)``."""
+    kind = draw(st.sampled_from(["path", "star", "gnp"]))
+    n = draw(st.integers(min_value=4, max_value=14))
+    if kind == "path":
+        net = path(n)
+    elif kind == "star":
+        net = star(n)
+    else:
+        net = gnp_connected(n, 0.4, seed=draw(st.integers(0, 5)))
+    labels = sorted(set(net.nodes) - {net.source})
+    crashed = draw(st.sampled_from(labels))
+    crash_slot = draw(st.integers(min_value=0, max_value=20))
+    plan = FaultPlan(
+        crashes=((crashed, crash_slot),),
+        loss_probability=draw(st.sampled_from([0.0, 0.4])),
+        seed=draw(st.integers(0, 3)),
+    )
+    return net, plan, crashed, crash_slot
+
+
+@st.composite
+def adaptive_faulty_networks(draw):
+    """A random topology plus a lossless fault plan — the shapes the
+    hint-honesty and batched-event property tests draw from."""
+    n = draw(st.integers(min_value=6, max_value=40))
+    topo_seed = draw(st.integers(min_value=0, max_value=10_000))
+    family = draw(st.sampled_from(["path", "tree", "gnp"]))
+    if family == "path":
+        net = path(n, relabel="shuffled", seed=topo_seed)
+    elif family == "tree":
+        net = random_tree(n, seed=topo_seed)
+    else:
+        net = gnp_connected(n, min(0.9, 4.0 / n), seed=topo_seed)
+    labels = sorted(set(net.nodes) - {net.source})
+    plan = FaultPlan(
+        crashes=((labels[-1], draw(st.integers(0, 60))),),
+        jams=tuple(
+            (slot, labels[0]) for slot in range(draw(st.integers(0, 8)))
+        ),
+        wake_delays=(
+            (labels[min(1, len(labels) - 1)], draw(st.integers(0, 40))),
+        ),
+        seed=topo_seed,
+    )
+    return net, plan

@@ -1,0 +1,142 @@
+"""Drive every registered engine through the shared conformance matrices.
+
+The harness (``tests/sim/conformance.py``) owns the matrices, the engine
+registry, and the assertion helpers; this module is just the loop.  Each
+matrix cell computes the reference engine's outcome once and holds every
+other registered engine to execution identity against it — including
+identical failures, slot-for-slot traces, and aggregated metrics for the
+engines that claim those capabilities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import TraceLevel
+
+from .conformance import (
+    ADAPTIVE_CASES,
+    ADAPTIVE_PLANS,
+    ENGINES,
+    OBLIVIOUS_ALGORITHMS,
+    OBLIVIOUS_PLANS,
+    OBLIVIOUS_TOPOLOGIES,
+    SEEDS,
+    adaptive_engines,
+    all_engines,
+    assert_outcomes_match,
+    full_fault_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {name: build() for name, build in OBLIVIOUS_TOPOLOGIES.items()}
+
+
+@pytest.mark.parametrize("plan_name", sorted(OBLIVIOUS_PLANS))
+@pytest.mark.parametrize("topo", sorted(OBLIVIOUS_TOPOLOGIES))
+@pytest.mark.parametrize("algo_name", sorted(OBLIVIOUS_ALGORITHMS))
+def test_all_engines_conform_oblivious(networks, algo_name, topo, plan_name):
+    """Every registered engine, every oblivious algorithm, every topology,
+    with and without a four-family fault plan.
+
+    Faulty runs may legitimately settle incomplete (the crash can strand
+    nodes) under the tight budget, so the assertion is execution identity
+    — wake slots, executed-slot counts, fault counters — not completion.
+    """
+    net = networks[topo]
+    make = OBLIVIOUS_ALGORITHMS[algo_name]
+    plan = OBLIVIOUS_PLANS[plan_name](net)
+    budget = 120 if plan is not None else 4000
+
+    reference = ENGINES["reference"].runner(
+        net, make, SEEDS, faults=plan, max_steps=budget,
+    )
+    if plan is None:
+        for result in reference.results:
+            assert result.completed, (algo_name, topo)
+    for name in all_engines():
+        if name == "reference":
+            continue
+        candidate = ENGINES[name].runner(
+            net, make, SEEDS, faults=plan, max_steps=budget,
+        )
+        assert_outcomes_match(
+            candidate, reference, key=(name, algo_name, topo, plan_name),
+        )
+
+
+@pytest.mark.parametrize("plan_name", sorted(ADAPTIVE_PLANS))
+@pytest.mark.parametrize("case", sorted(ADAPTIVE_CASES))
+def test_adaptive_engines_conform_slot_for_slot(case, plan_name):
+    """The adaptive matrix with full instrumentation: protocol cases x
+    fault plans, asserting slot-for-slot traces and aggregated metrics on
+    every engine that can run arbitrary protocols."""
+    build, make_algo, cd = ADAPTIVE_CASES[case]
+    net = build()
+    plan = ADAPTIVE_PLANS[plan_name](net)
+    make = lambda _net: make_algo()  # noqa: E731 - adapt to runner signature
+
+    outcomes = {}
+    for name in adaptive_engines():
+        spec = ENGINES[name]
+        if cd and not spec.collision_detection:
+            continue
+        outcomes[name] = spec.runner(
+            net, make, SEEDS, faults=plan, max_steps=4000,
+            trace_level=TraceLevel.FULL, collision_detection=cd,
+            with_metrics=True,
+        )
+    reference = outcomes.pop("reference")
+    assert reference.error is None, (case, plan_name)
+    for name, candidate in outcomes.items():
+        spec = ENGINES[name]
+        assert_outcomes_match(
+            candidate, reference, key=(name, case, plan_name),
+            compare_traces=spec.traces, compare_metrics=spec.metrics,
+        )
+
+
+def test_adaptive_engines_fail_identically_under_loss():
+    """S&S Echo is not loss-tolerant: under 30% loss the reference run
+    aborts with a protocol violation, and every adaptive engine must
+    abort with exactly the same error (not silently diverge)."""
+    from repro.core import SelectAndSend
+    from repro.topology import gnp_connected
+
+    net = gnp_connected(48, 0.12, seed=7)
+    plan = full_fault_plan(net)
+    make = lambda _net: SelectAndSend()  # noqa: E731
+
+    reference = ENGINES["reference"].runner(
+        net, make, SEEDS, faults=plan, max_steps=4000,
+    )
+    assert reference.error is not None  # the plan does break this run
+    for name in adaptive_engines():
+        if name == "reference":
+            continue
+        candidate = ENGINES[name].runner(
+            net, make, SEEDS, faults=plan, max_steps=4000,
+        )
+        assert candidate.error == reference.error, name
+
+
+@pytest.mark.parametrize("algo_name", ["kp-known-d", "bgi"])
+def test_engines_agree_on_incomplete_runs(algo_name):
+    """Under a tight step budget every engine stalls identically."""
+    from repro.topology import km_hard_layered
+
+    net = km_hard_layered(48, 4, seed=5)
+    make = OBLIVIOUS_ALGORITHMS[algo_name]
+    budget = 3
+
+    reference = ENGINES["reference"].runner(net, make, [1], max_steps=budget)
+    (ref_result,) = reference.results
+    assert not ref_result.completed
+    assert ref_result.time == budget
+    for name in all_engines():
+        if name == "reference":
+            continue
+        candidate = ENGINES[name].runner(net, make, [1], max_steps=budget)
+        assert_outcomes_match(candidate, reference, key=(name, algo_name))

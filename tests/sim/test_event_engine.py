@@ -1,128 +1,33 @@
-"""Differential suite for the event-driven adaptive engine.
+"""Event-engine specifics beyond the shared conformance matrix.
 
-The :class:`~repro.sim.event.EventDrivenEngine` is a pure execution
-strategy: idle-hint polling, slot compression, and the shared channel
-kernel must never change what is computed.  This suite locks that down
-three ways:
+The slot-for-slot identity matrix (adaptive cases x fault plans x
+engines, incl. identical failures under loss) moved to
+``test_conformance.py`` on top of the harness in ``conformance.py``.
+This module keeps what is particular to the *serial* event engine and
+the hint contract itself:
 
-* a matrix of adaptive algorithms x topologies x fault plans asserting
-  *slot-for-slot* identical traces, fault counters, and metrics against
-  the polling :class:`~repro.sim.engine.SynchronousEngine`;
-* identical *failures*: when a protocol violation aborts the reference
-  run (Select-and-Send under message loss), the event engine must abort
-  with the same error;
+* the step-hook stream is gap-free across compressed slots;
 * a hypothesis property that :meth:`Protocol.quiet_until` promises are
   honest — a protocol that hints quiet through slot ``s`` must return
   ``None`` from ``next_action`` on every polled slot before ``s``
   (checked on the reference engine, which polls every slot, under
-  randomly drawn topologies and fault plans).
+  randomly drawn topologies and fault plans);
+* unit coverage of :class:`~repro.core.echo.QuietEchoSchedule` hint
+  values and :meth:`FaultPlan.event_slots`.
 """
 
 from __future__ import annotations
 
-import random
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CompleteLayeredBroadcast, SelectAndSend, TokenGossip
+from repro.core import CompleteLayeredBroadcast, SelectAndSend
 from repro.core.echo import QuietEchoSchedule
-from repro.obs.metrics import MetricsRegistry
 from repro.sim import FaultPlan, QUIET_FOREVER, run_broadcast
 from repro.sim.errors import ProtocolViolationError
-from repro.sim.messages import CollisionMarker
-from repro.sim.protocol import BroadcastAlgorithm, Protocol
-from repro.sim.trace import TraceLevel
-from repro.topology import (
-    gnp_connected,
-    km_hard_layered,
-    path,
-    random_tree,
-    uniform_complete_layered,
-)
+from repro.topology import path, uniform_complete_layered
 
-#: (name, network builder, algorithm builder, collision_detection).
-#: Select-and-Send runs on arbitrary topologies; Complete-Layered only
-#: on the complete layered class it is correct for.  TokenGossip wraps
-#: S&S without implementing ``quiet_until`` — it exercises the unhinted
-#: default (polled every slot) on the event engine.
-CASES = {
-    "ss-path": (lambda: path(24, relabel="shuffled", seed=5), SelectAndSend, False),
-    "ss-tree": (lambda: random_tree(32, seed=3), SelectAndSend, False),
-    "ss-gnp": (lambda: gnp_connected(48, 0.12, seed=7), SelectAndSend, False),
-    "cl-uniform": (
-        lambda: uniform_complete_layered(48, 5, relabel_seed=2),
-        CompleteLayeredBroadcast,
-        False,
-    ),
-    "cl-km": (lambda: km_hard_layered(48, 6, seed=4), CompleteLayeredBroadcast, False),
-    "cl-native-cd": (
-        lambda: uniform_complete_layered(48, 5, relabel_seed=2),
-        lambda: CompleteLayeredBroadcast(native_cd=True),
-        True,
-    ),
-    "gossip-unhinted": (lambda: path(10), TokenGossip, False),
-}
-
-
-def _crash_jam_delay_plan(net):
-    """All fault families except loss (the adaptive token algorithms are
-    not loss-tolerant; the loss case is tested as identical *failure*)."""
-    labels = sorted(set(net.nodes) - {net.source})
-    return FaultPlan(
-        crashes=((labels[-1], 9),),
-        jams=tuple((slot, labels[0]) for slot in range(6)),
-        wake_delays=((labels[1], 7),),
-        seed=23,
-    )
-
-
-PLANS = {
-    "none": lambda net: None,
-    "crash-jam-delay": _crash_jam_delay_plan,
-}
-
-
-def _run(net, make_algo, engine, cd, plan):
-    metrics = MetricsRegistry()
-    result = run_broadcast(
-        net,
-        make_algo(),
-        engine=engine,
-        collision_detection=cd,
-        faults=plan,
-        metrics=metrics,
-        trace_level=TraceLevel.FULL,
-        require_completion=False,
-        max_steps=4000,
-    )
-    return result, metrics.to_dict()
-
-
-@pytest.mark.parametrize("plan_name", sorted(PLANS))
-@pytest.mark.parametrize("case", sorted(CASES))
-def test_event_engine_slot_identical(case, plan_name):
-    build, make_algo, cd = CASES[case]
-    net = build()
-    plan = PLANS[plan_name](net)
-
-    reference, ref_metrics = _run(net, make_algo, "reference", cd, plan)
-    event, ev_metrics = _run(net, make_algo, "event", cd, plan)
-
-    key = (case, plan_name)
-    assert event.completed == reference.completed, key
-    assert event.time == reference.time, key
-    assert event.informed == reference.informed, key
-    assert event.wake_times == reference.wake_times, key
-    assert event.layer_times == reference.layer_times, key
-    # Slot-for-slot: every synthesized (compressed) slot must appear in
-    # the trace exactly as the reference engine's executed slot does.
-    assert event.trace.steps == reference.trace.steps, key
-    assert event.trace.informed_counts == reference.trace.informed_counts, key
-    assert event.trace.wake_times == reference.trace.wake_times, key
-    assert event.fault_counters == reference.fault_counters, key
-    assert ev_metrics == ref_metrics, key
+from .conformance import HintCheckedAlgorithm, adaptive_faulty_networks
 
 
 def test_step_hook_sees_every_compressed_slot():
@@ -151,132 +56,18 @@ def test_step_hook_sees_every_compressed_slot():
     )
 
 
-def test_event_engine_fails_identically_under_loss():
-    """S&S Echo is not loss-tolerant: under 30% loss the reference run
-    aborts with a protocol violation, and the event engine must abort
-    with exactly the same error (not silently diverge)."""
-    net = gnp_connected(48, 0.12, seed=7)
-    labels = sorted(set(net.nodes) - {net.source})
-    plan = FaultPlan(
-        crashes=((labels[-1], 9),),
-        jams=tuple((slot, labels[0]) for slot in range(6)),
-        loss_probability=0.3,
-        wake_delays=((labels[1], 7),),
-        seed=23,
-    )
-
-    def outcome(engine):
-        try:
-            run_broadcast(
-                net, SelectAndSend(), engine=engine, faults=plan,
-                require_completion=False, max_steps=4000,
-            )
-        except ProtocolViolationError as exc:
-            return str(exc)
-        return None
-
-    reference = outcome("reference")
-    assert reference is not None  # the plan does break this run
-    assert outcome("event") == reference
-
-
 # ---------------------------------------------------------------------------
 # Hint honesty: quiet promises can never hide an action.
 
 
-class _HintChecked(Protocol):
-    """Wrapper asserting the inner protocol honours its quiet promises.
-
-    Runs on the *reference* engine (polled every slot).  Whenever the
-    inner hint promises quiet through ``s``, every polled slot before
-    ``s`` must yield ``next_action(...) is None`` — the actionable half
-    of the ``quiet_until`` contract.  A message delivery voids the
-    promise, exactly as the event engine treats it.
-    """
-
-    def __init__(self, inner: Protocol):
-        super().__init__(inner.label, inner.r, inner.rng)
-        self._inner = inner
-        self._promised_until = -1
-        self._promised_at = -1
-
-    def on_wake(self, step, message):
-        self._inner.on_wake(step, message)
-
-    def next_action(self, step):
-        quiet = self._inner.quiet_until(step)
-        assert quiet >= step, (
-            f"node {self.label}: quiet_until({step}) = {quiet} points backwards"
-        )
-        action = self._inner.next_action(step)
-        if step < self._promised_until:
-            assert action is None, (
-                f"node {self.label} acted in slot {step} despite promising "
-                f"(at slot {self._promised_at}) quiet until "
-                f"{self._promised_until}"
-            )
-        if quiet > step:
-            assert action is None, (
-                f"node {self.label} acted in slot {step} while hinting "
-                f"quiet until {quiet}"
-            )
-            if quiet > self._promised_until:
-                self._promised_until = quiet
-                self._promised_at = step
-        return action
-
-    def observe(self, step, message):
-        if message is not None and not isinstance(message, CollisionMarker):
-            # A real delivery voids the promise (the event engine re-polls
-            # receivers).  Silence and CD markers do NOT: keeping the
-            # recorded promise across them is what catches a protocol
-            # whose quiet window is secretly marker-sensitive.
-            self._promised_until = -1
-        self._inner.observe(step, message)
-
-
-class _HintCheckedAlgorithm(BroadcastAlgorithm):
-    def __init__(self, inner: BroadcastAlgorithm):
-        self._inner = inner
-        self.name = f"hint-checked({inner.name})"
-        self.deterministic = inner.deterministic
-
-    def create(self, label: int, r: int, rng: random.Random) -> Protocol:
-        return _HintChecked(self._inner.create(label, r, rng))
-
-    def max_steps_hint(self, n: int, r: int) -> int | None:
-        return self._inner.max_steps_hint(n, r)
-
-
 @settings(max_examples=25, deadline=None)
-@given(
-    n=st.integers(min_value=6, max_value=40),
-    topo_seed=st.integers(min_value=0, max_value=10_000),
-    family=st.sampled_from(["path", "tree", "gnp"]),
-    crash_slot=st.integers(min_value=0, max_value=60),
-    jam_len=st.integers(min_value=0, max_value=8),
-    delay_until=st.integers(min_value=0, max_value=40),
-)
-def test_quiet_until_never_hides_an_action(
-    n, topo_seed, family, crash_slot, jam_len, delay_until
-):
-    if family == "path":
-        net = path(n, relabel="shuffled", seed=topo_seed)
-    elif family == "tree":
-        net = random_tree(n, seed=topo_seed)
-    else:
-        net = gnp_connected(n, min(0.9, 4.0 / n), seed=topo_seed)
-    labels = sorted(set(net.nodes) - {net.source})
-    plan = FaultPlan(
-        crashes=((labels[-1], crash_slot),),
-        jams=tuple((slot, labels[0]) for slot in range(jam_len)),
-        wake_delays=((labels[min(1, len(labels) - 1)], delay_until),),
-        seed=topo_seed,
-    )
+@given(case=adaptive_faulty_networks())
+def test_quiet_until_never_hides_an_action(case):
+    net, plan = case
     try:
         run_broadcast(
             net,
-            _HintCheckedAlgorithm(SelectAndSend()),
+            HintCheckedAlgorithm(SelectAndSend()),
             faults=plan,
             require_completion=False,
             max_steps=3000,
@@ -301,7 +92,7 @@ def test_quiet_until_never_hides_an_action_layered(n, depth, relabel_seed):
     net = uniform_complete_layered(n, depth, relabel_seed=relabel_seed)
     run_broadcast(
         net,
-        _HintCheckedAlgorithm(CompleteLayeredBroadcast()),
+        HintCheckedAlgorithm(CompleteLayeredBroadcast()),
         require_completion=True,
     )
 
@@ -325,6 +116,9 @@ def test_quiet_echo_schedule_hint_values():
     assert node.quiet_until(3) == 7
     assert node.quiet_until(8) == 10
     assert node.quiet_until(11) == QUIET_FOREVER
+    # A slot with a scheduled transmission short-circuits: busy now.
+    assert node.quiet_until(7) == 7
+    assert node.quiet_until(2) == 2
     # Inside an Echo observation window silence is information: no promise.
     node._awaiting = ("announce", 4)
     assert node.quiet_until(5) == 5

@@ -189,34 +189,17 @@ def test_result_serialisation_round_trips_counters(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# Crashed nodes never transmit — on the reference engine via step_hook,
-# on the fast engine via the returned masks.
+# Crashed nodes never transmit — on the reference and batched event
+# engines via step hooks, on the fast engine via the returned masks.
+# (The drawing strategy lives in the conformance harness so the batched
+# property suite shares it.)
 
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
+from .conformance import faulty_cases  # noqa: E402
+
 SETTINGS = settings(max_examples=25, deadline=None)
-
-
-@st.composite
-def faulty_cases(draw):
-    kind = draw(st.sampled_from(["path", "star", "gnp"]))
-    n = draw(st.integers(min_value=4, max_value=14))
-    if kind == "path":
-        net = path(n)
-    elif kind == "star":
-        net = star(n)
-    else:
-        net = gnp_connected(n, 0.4, seed=draw(st.integers(0, 5)))
-    labels = sorted(set(net.nodes) - {net.source})
-    crashed = draw(st.sampled_from(labels))
-    crash_slot = draw(st.integers(min_value=0, max_value=20))
-    plan = FaultPlan(
-        crashes=((crashed, crash_slot),),
-        loss_probability=draw(st.sampled_from([0.0, 0.4])),
-        seed=draw(st.integers(0, 3)),
-    )
-    return net, plan, crashed, crash_slot
 
 
 @SETTINGS
@@ -246,3 +229,19 @@ def test_crashed_node_never_transmits_after_crash_slot(case, seed):
     # And a crashed-while-asleep node must still be asleep at the end.
     if crashed not in engine.wake_times:
         assert fast.wake_steps[idx] == ASLEEP
+
+    # Batched event engine: every trial's hook stream is crash-clean too.
+    from repro.sim import BatchedEventEngine
+
+    batch_violations = []
+
+    def batch_hook(step, transmitters):
+        if step >= crash_slot and crashed in transmitters:
+            batch_violations.append(step)
+
+    batched = BatchedEventEngine(
+        net, BGIBroadcast(net.r), seeds=[seed, seed + 1],
+        faults=plan, step_hooks=[batch_hook, batch_hook],
+    )
+    batched.run(60)
+    assert not batch_violations
