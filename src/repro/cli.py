@@ -13,6 +13,11 @@ Subcommands:
 * ``sweep`` — expand a declarative sweep spec (topology grid × algorithm
   × trials), run the points on the batched engine across worker
   processes, and cache per-point results on disk.
+* ``top`` — live terminal view of a running sweep (points done/total,
+  throughput, ETA, per-worker state) driven by the telemetry bus; or
+  ``--replay`` a recorded run log.
+* ``trace`` — ``trace export`` turns a runlog's span events into Chrome
+  trace-event / Perfetto JSON for visual inspection.
 * ``report`` — render a JSONL run log (``--log-jsonl``) or a benchmark
   trajectory back into tables, or ``--json`` for machines (see
   ``docs/OBSERVABILITY.md``).
@@ -36,6 +41,10 @@ Examples::
     repro sweep --spec my_sweep.json --json
     repro sweep --spec my_sweep.json --faults plan.json --timeout 120 --retries 2
     repro sweep --quick --metrics --log-jsonl sweep.jsonl
+    repro sweep --quick --telemetry --log-jsonl sweep.jsonl
+    repro top --quick --workers 4
+    repro top --replay sweep.jsonl
+    repro trace export sweep.jsonl -o sweep.trace.json
     repro report sweep.jsonl
     repro report benchmarks/results/BENCH_trajectory.jsonl --json
     repro bench --quick --compare
@@ -162,12 +171,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     metrics = None
     runlog = None
+    spans = None
     if args.metrics or args.log_jsonl:
         from .obs import MetricsRegistry
 
         metrics = MetricsRegistry()
     if args.log_jsonl:
-        from .obs import RunLogger
+        from .obs import RunLogger, SpanRecorder
 
         runlog = RunLogger(args.log_jsonl)
         runlog.event(
@@ -177,10 +187,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             n=net.n,
         )
+
+        def _span_sink(event: dict) -> None:
+            runlog.event(
+                "span", **{k: v for k, v in event.items() if k != "event"}
+            )
+
+        # Trial + synthetic stage spans land in the runlog, so a single
+        # run is `repro trace export`-able just like a sweep.
+        spans = SpanRecorder(sink=_span_sink)
     try:
         result = run_broadcast(
             net, algorithm, seed=args.seed, trace_level=level, faults=faults,
-            metrics=metrics,
+            metrics=metrics, spans=spans,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"run failed: {exc}")
@@ -313,13 +332,12 @@ QUICK_SWEEP = {
 }
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    import dataclasses
+def _load_sweep_spec(args: argparse.Namespace):
+    """Resolve ``--spec FILE`` / ``--quick`` into a ``SweepSpec``."""
     import json
 
-    from .sweep import DEFAULT_CACHE_DIR, ResultCache, SweepSpec, run_sweep
-
-    from .sim.errors import ConfigurationError, SimulationError
+    from .sim.errors import ConfigurationError
+    from .sweep import SweepSpec
 
     if args.spec:
         try:
@@ -330,13 +348,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except json.JSONDecodeError as exc:
             raise SystemExit(f"sweep spec {args.spec} is not valid JSON: {exc}")
         try:
-            spec = SweepSpec.from_dict(document)
+            return SweepSpec.from_dict(document)
         except ConfigurationError as exc:
             raise SystemExit(f"bad sweep spec: {exc}")
-    elif args.quick:
-        spec = SweepSpec.from_dict(QUICK_SWEEP)
-    else:
-        raise SystemExit("provide --spec FILE.json or --quick")
+    if args.quick:
+        return SweepSpec.from_dict(QUICK_SWEEP)
+    raise SystemExit("provide --spec FILE.json or --quick")
+
+
+def _sweep_progress(spec, stream, quiet: bool):
+    """The ``on_point`` console progress line (S2): ``None`` when silent."""
+    import time
+
+    if quiet or not getattr(stream, "isatty", lambda: False)():
+        return None
+    total = len(spec.points())
+    state = {"done": 0, "start": time.monotonic()}
+
+    def on_point(point, payload, cached) -> None:
+        state["done"] += 1
+        done = state["done"]
+        elapsed = time.monotonic() - state["start"]
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = total - done
+        eta = f"{remaining / rate:.0f}s" if rate > 0 and remaining else "0s"
+        marker = " [cache]" if cached else ""
+        stream.write(
+            f"\r\x1b[K[{done}/{total}] {point.label()}{marker}  ETA {eta}"
+        )
+        if done == total:
+            stream.write("\n")
+        stream.flush()
+
+    return on_point
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .sweep import DEFAULT_CACHE_DIR, ResultCache, run_sweep
+
+    from .sim.errors import ConfigurationError, SimulationError
+
+    spec = _load_sweep_spec(args)
     if args.faults:
         try:
             spec = dataclasses.replace(spec, faults=_load_fault_plan(args.faults))
@@ -357,16 +411,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # The runner folds every executed point's snapshot into this
         # registry and sets the sweep-level gauges on it.
         metrics = MetricsRegistry()
+    telemetry = None
+    if args.telemetry:
+        from .obs import TelemetryHub
+
+        # Spans (sweep/point/trial/stage) stream from workers over the
+        # bounded bus and land in the runlog as they happen.
+        telemetry = TelemetryHub(runlog=runlog)
+    on_point = None if args.json else _sweep_progress(spec, sys.stderr, args.quiet)
     try:
         outcome = run_sweep(
             spec,
             workers=args.workers,
             cache=cache,
+            on_point=on_point,
             timeout=args.timeout,
             retries=args.retries,
             instrument=args.metrics,
             runlog=runlog,
             metrics=metrics,
+            telemetry=telemetry,
         )
     except SimulationError as exc:
         # Covers bad configurations and SweepExecutionError — points that
@@ -374,6 +438,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # siblings are already cached).
         raise SystemExit(f"sweep failed: {exc}")
     finally:
+        if telemetry is not None:
+            telemetry.close()
         if runlog is not None:
             runlog.close()
     if args.json:
@@ -398,6 +464,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(render_metrics(metrics, title="metrics (executed points)"))
     if runlog is not None:
         print(f"run log written to {runlog.path}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .sim.errors import SimulationError
+
+    if args.replay:
+        from .obs.runlog import RunlogError, read_runlog
+        from .obs.top import replay_events
+
+        try:
+            events = read_runlog(args.replay)
+        except OSError as exc:
+            raise SystemExit(f"cannot read run log: {exc}")
+        except RunlogError as exc:
+            raise SystemExit(f"bad run log: {exc}")
+        print(replay_events(events).render())
+        return 0
+
+    from .obs import TelemetryHub
+    from .obs.top import LiveRenderer
+    from .sweep import DEFAULT_CACHE_DIR, ResultCache, run_sweep
+
+    spec = _load_sweep_spec(args)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    runlog = None
+    if args.log_jsonl:
+        from .obs import RunLogger
+
+        runlog = RunLogger(args.log_jsonl)
+    telemetry = TelemetryHub(runlog=runlog)
+    renderer = LiveRenderer(sys.stderr, interval=args.interval)
+    telemetry.subscribe(renderer)
+    try:
+        outcome = run_sweep(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+            telemetry=telemetry,
+        )
+    except SimulationError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+    finally:
+        telemetry.close()
+        if runlog is not None:
+            runlog.close()
+    renderer.finish()
+    print(f"sweep {spec.name!r}: {len(outcome.results)} points "
+          f"({outcome.executed} executed, {outcome.from_cache} from cache)")
+    if runlog is not None:
+        print(f"run log written to {runlog.path}")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .obs.runlog import RunlogError, read_runlog
+    from .obs.spans import TraceFormatError, span_events, write_trace
+
+    try:
+        events = read_runlog(args.runlog)
+    except OSError as exc:
+        raise SystemExit(f"cannot read run log: {exc}")
+    except RunlogError as exc:
+        raise SystemExit(f"bad run log: {exc}")
+    output = args.output or str(
+        pathlib.Path(args.runlog).with_suffix(".trace.json")
+    )
+    try:
+        path = write_trace(events, output)
+    except TraceFormatError as exc:
+        raise SystemExit(f"trace export failed: {exc}")
+    print(f"wrote {len(span_events(events))} span(s) to {path} "
+          f"(load in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -551,24 +696,10 @@ def _cmd_profile_sweep(args: argparse.Namespace) -> int:
     import tempfile
 
     from .obs.profile import merge_stats_files
-    from .sim.errors import ConfigurationError, SimulationError
-    from .sweep import SweepSpec, run_sweep
+    from .sim.errors import SimulationError
+    from .sweep import run_sweep
 
-    if args.spec:
-        import json
-
-        try:
-            with open(args.spec, "r", encoding="utf-8") as handle:
-                spec = SweepSpec.from_dict(json.load(handle))
-        except OSError as exc:
-            raise SystemExit(f"cannot read sweep spec: {exc}")
-        except (json.JSONDecodeError, ConfigurationError) as exc:
-            raise SystemExit(f"bad sweep spec: {exc}")
-    elif args.quick:
-        spec = SweepSpec.from_dict(QUICK_SWEEP)
-    else:
-        raise SystemExit("provide --spec FILE.json or --quick")
-
+    spec = _load_sweep_spec(args)
     profile_dir = args.profile_dir or tempfile.mkdtemp(prefix="repro-profile-")
     try:
         # Uncached on purpose: a cache hit executes nothing worth profiling.
@@ -705,7 +836,54 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--log-jsonl", metavar="FILE",
                          help="append per-point lifecycle events to a JSONL "
                               "run log")
+    p_sweep.add_argument("--telemetry", action="store_true",
+                         help="stream sweep/point/trial/stage spans from "
+                              "workers over the live telemetry bus (spans "
+                              "land in --log-jsonl; results are identical)")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress the per-point console progress line")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view of a running sweep (telemetry bus)"
+    )
+    p_top.add_argument("--spec", metavar="FILE",
+                       help="sweep spec JSON (see repro.sweep.SweepSpec)")
+    p_top.add_argument("--quick", action="store_true",
+                       help="run the built-in small smoke sweep")
+    p_top.add_argument("--workers", type=int, default=1,
+                       help="worker processes for cache-missed points")
+    p_top.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+    p_top.add_argument("--cache-dir", metavar="DIR",
+                       help="cache location (default benchmarks/results/sweep-cache)")
+    p_top.add_argument("--timeout", type=float, default=None,
+                       help="per-point wall-clock budget in seconds")
+    p_top.add_argument("--retries", type=int, default=0,
+                       help="re-attempts per failed/timed-out/killed point")
+    p_top.add_argument("--interval", type=float, default=0.5,
+                       help="minimum seconds between screen redraws")
+    p_top.add_argument("--log-jsonl", metavar="FILE",
+                       help="also append every event to a JSONL run log")
+    p_top.add_argument("--replay", metavar="RUNLOG",
+                       help="render the final view of a recorded run log "
+                            "instead of running a sweep")
+    p_top.set_defaults(func=_cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace", help="span tooling: export Chrome trace-event / Perfetto JSON"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_export = trace_sub.add_parser(
+        "export", help="convert a runlog's span events to a Perfetto trace"
+    )
+    p_trace_export.add_argument("runlog",
+                                help="JSONL run log containing span events "
+                                     "(repro sweep --telemetry --log-jsonl, "
+                                     "or repro run --log-jsonl)")
+    p_trace_export.add_argument("-o", "--output", metavar="FILE", default=None,
+                                help="output path (default: <runlog>.trace.json)")
+    p_trace_export.set_defaults(func=_cmd_trace_export)
 
     p_report = sub.add_parser(
         "report", help="render a JSONL run log or bench trajectory as tables"

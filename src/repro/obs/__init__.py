@@ -1,9 +1,9 @@
-"""Observability: metrics, stage timings, and structured run logs.
+"""Observability: metrics, timings, run logs, spans, and live telemetry.
 
 The subsystem is opt-in end to end — engines, drivers, and the sweep
-runner accept ``metrics=`` / ``timings=`` / ``runlog=`` handles that
-default to ``None``, and with them absent no instrumentation code runs.
-Three building blocks:
+runner accept ``metrics=`` / ``timings=`` / ``runlog=`` / ``spans=`` /
+``telemetry=`` handles that default to ``None``, and with them absent no
+instrumentation code runs.  Building blocks:
 
 * :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
   histograms in a :class:`~repro.obs.metrics.MetricsRegistry`;
@@ -12,7 +12,14 @@ Three building blocks:
   :class:`~repro.sim.run.BroadcastResult` and sweep payloads;
 * :mod:`repro.obs.runlog` — JSONL lifecycle event logs
   (:class:`~repro.obs.runlog.RunLogger`) plus the schema validator
-  CI runs against them.
+  CI runs against them;
+* :mod:`repro.obs.spans` — hierarchical ``sweep → point → trial →
+  stage`` spans riding on the ``Timings`` taxonomy, with Chrome
+  trace-event export (``repro trace export``);
+* :mod:`repro.obs.telemetry` — the bounded, non-blocking bus that
+  streams span/progress events from sweep workers to the parent
+  (:class:`~repro.obs.telemetry.TelemetryHub`), feeding ``repro top``
+  (:mod:`repro.obs.top`) and the runlog as events happen.
 
 ``repro report <runlog>`` (see :mod:`repro.obs.report`) renders logs
 back into tables; metric names and the event schema are documented in
@@ -38,6 +45,24 @@ from .runlog import (
     read_runlog,
     validate_runlog,
 )
+from .spans import (
+    SPAN_KINDS,
+    Span,
+    SpanRecorder,
+    TraceFormatError,
+    export_trace_events,
+    new_span_id,
+    parse_trace_events,
+    span_events,
+    write_trace,
+)
+from .telemetry import (
+    SpanContext,
+    TelemetryBus,
+    TelemetryHub,
+    TelemetrySender,
+    WorkerTelemetry,
+)
 from .timings import Timings
 
 __all__ = [
@@ -50,11 +75,25 @@ __all__ = [
     "RunLogger",
     "RunlogError",
     "SLOT_BUCKETS",
+    "SPAN_KINDS",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "TelemetryBus",
+    "TelemetryHub",
+    "TelemetrySender",
     "Timings",
+    "TraceFormatError",
+    "WorkerTelemetry",
     "assert_valid_runlog",
     "default_runlog_path",
+    "export_trace_events",
     "git_sha",
     "new_run_id",
+    "new_span_id",
+    "parse_trace_events",
     "read_runlog",
+    "span_events",
     "validate_runlog",
+    "write_trace",
 ]

@@ -12,16 +12,22 @@ transition to a ``.jsonl`` file under ``benchmarks/results/runlogs/``
 and schema live in ``docs/OBSERVABILITY.md``.
 
 Only the *parent* process writes: sweep workers report through the
-result queue and the pool loop logs on their behalf, so lines never
-interleave.  Writes are line-buffered and flushed per event — a killed
-sweep leaves a valid (truncated) log, mirroring the crash-safe cache.
+result queue (and the telemetry bus), and the parent logs on their
+behalf, so lines never interleave.  By default every event is flushed
+as written — a killed sweep leaves a valid (truncated) log, mirroring
+the crash-safe cache.  Under high event rates (telemetry spans stream
+one event per point span) per-event ``flush()`` dominates, so
+``flush_interval`` batches flushes: a killed writer then loses at most
+one batch (bounded by ``flush_batch`` events).
 
 :func:`validate_runlog` is the schema checker used by tests and CI: it
 asserts that every line parses, that timestamps are monotone
-non-decreasing, and that no worker lifecycle event is orphaned (every
-``point_*`` event follows a ``point_spawned`` for the same index, and
-every spawned point reaches a terminal ``point_completed`` /
-``point_failed``).
+non-decreasing, that no worker lifecycle event is orphaned (every
+``point_*`` event follows a ``point_spawned`` for the same index, every
+spawned point reaches a terminal ``point_completed`` /
+``point_failed``, and every point event's ``run_id`` matches a
+``sweep_started`` envelope), and that telemetry events (``span``,
+``point_running``, ``telemetry_dropped``) are well-formed.
 """
 
 from __future__ import annotations
@@ -56,6 +62,15 @@ _NEEDS_SPAWN = frozenset(
 
 #: Terminal outcomes a spawned point must eventually reach.
 _TERMINAL = frozenset({"point_completed", "point_failed"})
+
+#: Every point-scoped event kind; each must carry the ``run_id`` of a
+#: ``sweep_started`` envelope present in the same log.
+_POINT_EVENTS = _NEEDS_SPAWN | {"point_spawned", "point_cache_hit", "point_running"}
+
+#: Span hierarchy accepted in ``span`` events (kept in sync with
+#: :data:`repro.obs.spans.SPAN_KINDS` without importing it — this module
+#: stays dependency-light so everything above it can import it freely).
+_SPAN_KINDS = ("sweep", "point", "trial", "stage")
 
 _GIT_SHA: str | None = None
 
@@ -104,6 +119,15 @@ class RunLogger:
         clock: Timestamp source, ``time.time`` by default.  Timestamps
             are clamped to be monotone non-decreasing within the logger
             even if the wall clock steps backwards.
+        flush_interval: Seconds between forced flushes.  The default
+            ``0.0`` flushes after *every* event — the original
+            crash-safety contract.  A positive interval batches flushes
+            for high event rates (streaming telemetry spans): events are
+            still written to the OS immediately on flush, and a flush is
+            forced whenever ``flush_batch`` events have accumulated, so
+            a killed writer loses at most one batch.
+        flush_batch: Maximum unflushed events regardless of the
+            interval (only meaningful with ``flush_interval > 0``).
     """
 
     def __init__(
@@ -111,7 +135,13 @@ class RunLogger:
         path: pathlib.Path | str,
         run_id: str | None = None,
         clock=time.time,
+        flush_interval: float = 0.0,
+        flush_batch: int = 64,
     ) -> None:
+        if flush_interval < 0:
+            raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
+        if flush_batch < 1:
+            raise ValueError(f"flush_batch must be >= 1, got {flush_batch}")
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.run_id = run_id or new_run_id()
@@ -119,18 +149,40 @@ class RunLogger:
         self._sha = git_sha()
         self._last_ts = float("-inf")
         self._handle = self.path.open("a", encoding="utf-8")
+        self.flush_interval = flush_interval
+        self.flush_batch = flush_batch
+        self._unflushed = 0
+        self._last_flush = time.monotonic()
 
-    def event(self, kind: str, **fields) -> dict:
-        """Write one event; returns the record that was written."""
+    def event(self, kind: str, /, **fields) -> dict:
+        """Write one event; returns the record that was written.
+
+        ``kind`` is positional-only so event payloads may themselves
+        carry a ``kind`` field (span events do).
+        """
         ts = max(float(self._clock()), self._last_ts)
         self._last_ts = ts
         record = {"ts": ts, "event": kind, "run_id": self.run_id,
                   "git_sha": self._sha, **fields}
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        self._unflushed += 1
+        if (
+            self.flush_interval <= 0.0
+            or self._unflushed >= self.flush_batch
+            or time.monotonic() - self._last_flush >= self.flush_interval
+        ):
+            self.flush()
         return record
 
+    def flush(self) -> None:
+        """Force buffered events to the OS (a crash loses nothing flushed)."""
+        self._handle.flush()
+        self._unflushed = 0
+        self._last_flush = time.monotonic()
+
     def close(self) -> None:
+        if not self._handle.closed:
+            self.flush()
         self._handle.close()
 
     def __enter__(self) -> "RunLogger":
@@ -174,11 +226,22 @@ def validate_runlog(events: Sequence[Mapping]) -> list[str]:
       ``point_timed_out`` / ``point_killed`` / ``point_retried`` must
       follow a ``point_spawned`` for the same point index (cache hits
       are exempt — they are never spawned), and every spawned index must
-      reach a terminal ``point_completed`` or ``point_failed``.
+      reach a terminal ``point_completed`` or ``point_failed``;
+    * envelope matching: every point-scoped event's ``run_id`` must
+      match a ``sweep_started`` envelope when the log contains any
+      ``sweep_started`` at all (single-run logs written by ``repro run``
+      have no sweep envelope and are exempt);
+    * telemetry: ``span`` events carry a string ``span_id``, a ``name``,
+      a ``kind`` from the span hierarchy, numeric ``start_ts`` /
+      ``end_ts`` with ``end_ts >= start_ts``, and a ``parent_id`` that
+      is a string or null; ``point_running`` carries an ``index``;
+      ``telemetry_dropped`` carries a non-negative integer ``count``.
     """
     errors: list[str] = []
     last_ts: dict[str, float] = {}
     spawned: dict[tuple[str, object], bool] = {}  # (run, index) -> reached terminal
+    sweep_runs: set[str] = set()
+    point_runs: dict[str, int] = {}  # run_id -> first position of a point event
 
     for position, event in enumerate(events):
         where = f"event #{position}"
@@ -201,6 +264,11 @@ def validate_runlog(events: Sequence[Mapping]) -> list[str]:
             )
         last_ts[run] = ts
 
+        if kind == "sweep_started":
+            sweep_runs.add(run)
+        if kind in _POINT_EVENTS:
+            point_runs.setdefault(run, position)
+
         if kind == "point_spawned":
             if "index" not in event:
                 errors.append(f"{where}: point_spawned without an index")
@@ -215,6 +283,41 @@ def validate_runlog(events: Sequence[Mapping]) -> list[str]:
                 )
             elif kind in _TERMINAL:
                 spawned[key] = True
+        elif kind == "point_running" and "index" not in event:
+            errors.append(f"{where}: point_running without an index")
+        elif kind == "span":
+            if not isinstance(event.get("span_id"), str):
+                errors.append(f"{where}: span without a string span_id")
+            if not event.get("name"):
+                errors.append(f"{where}: span without a name")
+            if event.get("kind") not in _SPAN_KINDS:
+                errors.append(
+                    f"{where}: span kind {event.get('kind')!r} not in {_SPAN_KINDS}"
+                )
+            start = event.get("start_ts")
+            end = event.get("end_ts")
+            if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+                errors.append(f"{where}: span without numeric start_ts/end_ts")
+            elif end < start:
+                errors.append(f"{where}: span ends before it starts ({end} < {start})")
+            parent = event.get("parent_id")
+            if parent is not None and not isinstance(parent, str):
+                errors.append(f"{where}: span parent_id {parent!r} is not a string")
+        elif kind == "telemetry_dropped":
+            count = event.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+                errors.append(
+                    f"{where}: telemetry_dropped count {count!r} is not a "
+                    f"non-negative integer"
+                )
+
+    if sweep_runs:
+        for run, position in sorted(point_runs.items()):
+            if run not in sweep_runs:
+                errors.append(
+                    f"event #{position}: point events for run {run} have no "
+                    f"matching sweep_started envelope"
+                )
 
     for (run, index), terminal in sorted(spawned.items(), key=lambda kv: str(kv[0])):
         if not terminal:

@@ -27,6 +27,7 @@ __all__ = [
     "batched_workload",
     "default_registry",
     "obs_overhead_workload",
+    "telemetry_overhead_workload",
 ]
 
 
@@ -101,6 +102,34 @@ def obs_overhead_workload(quick: bool = False):
         )
 
     return plain, instrumented
+
+
+def telemetry_overhead_workload(quick: bool = False):
+    """Thunk pair ``(plain, telemetered)`` for the span-overhead gate.
+
+    The telemetered thunk runs the same batched workload with a
+    :class:`~repro.obs.spans.SpanRecorder` draining into a no-op sink —
+    the worker-side cost of span recording and stage synthesis, without
+    the (parent-side) bus or runlog.  Shared with
+    ``benchmarks/test_telemetry_overhead.py`` so the committed
+    ``BENCH_telemetry_overhead`` baseline measures the same thing.
+    """
+    from ..sim import repeat_broadcast
+    from .spans import SpanRecorder
+
+    net, algorithm, trials = batched_workload(quick)
+
+    def plain():
+        return repeat_broadcast(net, algorithm, runs=trials, engine="batch")
+
+    def telemetered():
+        recorder = SpanRecorder(sink=lambda event: None)
+        with recorder.span("point", "point"):
+            return repeat_broadcast(
+                net, algorithm, runs=trials, engine="batch", spans=recorder
+            )
+
+    return plain, telemetered
 
 
 @register(
@@ -192,6 +221,19 @@ def _batched_adaptive_engine(quick: bool):
 def _obs_overhead(quick: bool):
     _, instrumented = obs_overhead_workload(quick)
     return instrumented
+
+
+@register(
+    "telemetry_overhead",
+    tags=("engine", "batch", "obs", "telemetry"),
+    # The acceptance bar for spans is 1.10x over the plain run; the
+    # baseline ratio guards the telemetered path against creep.
+    tolerance=1.25,
+    description="Batched run with span recording on — the telemetry cost itself",
+)
+def _telemetry_overhead(quick: bool):
+    _, telemetered = telemetry_overhead_workload(quick)
+    return telemetered
 
 
 @register(

@@ -35,12 +35,14 @@ for the same ``(seed, label, step)``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 from typing import Protocol as TypingProtocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from ..obs.spans import SpanRecorder
 from ..obs.timings import Timings
 from .channel import ChannelKernel
 from .coins import CoinSource, derive_trial_seeds
@@ -642,17 +644,26 @@ def run_broadcast_fast(
     faults: FaultPlan | None = None,
     metrics: MetricsRegistry | None = None,
     timings: Timings | None = None,
+    spans: SpanRecorder | None = None,
 ) -> BroadcastResult:
     """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
-    if timings is None and metrics is not None:
+    if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     engine = FastEngine(
         network, algorithm, seed=seed, faults=faults,
         metrics=metrics, timings=timings,
     )
-    engine.run(max_steps)
+    with (
+        spans.trial_span(
+            f"trial[{seed}]", timings,
+            seed=seed, algorithm=algorithm.name, n=network.n,
+        )
+        if spans is not None
+        else nullcontext()
+    ):
+        engine.run(max_steps)
     completed = engine.all_informed
     time = engine.completion_time if completed else engine.step
     wake_times = engine.wake_times()
@@ -689,6 +700,7 @@ def run_broadcast_batch(
     faults: FaultPlan | None = None,
     metrics: MetricsRegistry | None = None,
     timings: Timings | None = None,
+    spans: SpanRecorder | None = None,
     engine: str = "auto",
     trace_level: TraceLevel = TraceLevel.NONE,
     collision_detection: bool = False,
@@ -736,6 +748,8 @@ def run_broadcast_batch(
         timings: Optional :class:`~repro.obs.timings.Timings`; the batch
             runs as one program, so every returned result carries the
             *same* (shared) timings object.
+        spans: Optional :class:`~repro.obs.spans.SpanRecorder`; the whole
+            batch records as one ``trial`` span (stage costs are joint).
         engine: ``"auto"``, ``"batched_fast"``, or ``"batched_event"``.
         trace_level: Per-trial channel traces (``batched_event`` only —
             the array engine records none).
@@ -756,7 +770,7 @@ def run_broadcast_batch(
         )
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
-    if timings is None and metrics is not None:
+    if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     if engine == "auto":
         engine = (
@@ -764,11 +778,20 @@ def run_broadcast_batch(
             if isinstance(algorithm, VectorizedAlgorithm)
             else "batched_event"
         )
-    if engine == "batched_event":
-        return _run_batched_event(
-            network, algorithm, seeds, max_steps, faults, metrics, timings,
-            trace_level, collision_detection, step_hooks,
+    batch_span = (
+        spans.trial_span(
+            f"batch[{len(seeds)}]", timings,
+            trials=len(seeds), algorithm=algorithm.name, n=network.n,
         )
+        if spans is not None
+        else nullcontext()
+    )
+    if engine == "batched_event":
+        with batch_span:
+            return _run_batched_event(
+                network, algorithm, seeds, max_steps, faults, metrics, timings,
+                trace_level, collision_detection, step_hooks,
+            )
     if engine != "batched_fast":
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected 'auto', 'batched_fast', "
@@ -787,7 +810,8 @@ def run_broadcast_batch(
         network, algorithm, seeds, faults=faults,
         metrics=metrics, timings=timings,
     )
-    engine.run(max_steps)
+    with batch_span:
+        engine.run(max_steps)
     times = engine.completion_times()
     counts = engine.informed_counts()
     results = []

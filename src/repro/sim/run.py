@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry, SLOT_BUCKETS
+from ..obs.spans import SpanRecorder
 from ..obs.timings import Timings
 
 # Seed-derivation helpers: defined in repro.sim.coins (run.py sits above
@@ -151,6 +152,7 @@ def run_broadcast(
     faults: FaultPlan | None = None,
     metrics: MetricsRegistry | None = None,
     timings: Timings | None = None,
+    spans: SpanRecorder | None = None,
     engine: str = "reference",
 ) -> BroadcastResult:
     """Execute one broadcast and measure its time.
@@ -179,7 +181,12 @@ def run_broadcast(
             never changes what the run computes.
         timings: Optional :class:`~repro.obs.timings.Timings` to
             accumulate into (shared across several runs, e.g. by a sweep
-            point); defaults to a fresh one when ``metrics`` is given.
+            point); defaults to a fresh one when ``metrics`` or ``spans``
+            is given.
+        spans: Optional :class:`~repro.obs.spans.SpanRecorder`.  When
+            given, the execution is wrapped in a ``trial`` span with
+            synthetic ``engine.*`` stage children taken from the
+            ``Timings`` delta.  Recording spans never changes the result.
         engine: ``"reference"`` (the per-node
             :class:`~repro.sim.engine.SynchronousEngine`, the default) or
             ``"event"`` (the
@@ -205,7 +212,7 @@ def run_broadcast(
         )
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
-    if timings is None and metrics is not None:
+    if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     engine = engine_cls(
         network,
@@ -217,7 +224,15 @@ def run_broadcast(
         metrics=metrics,
         timings=timings,
     )
-    engine.run(max_steps)
+    if spans is None:
+        engine.run(max_steps)
+    else:
+        with spans.trial_span(
+            f"trial[{seed}]", timings,
+            seed=seed, algorithm=algorithm.name, n=network.n,
+        ) as trial:
+            engine.run(max_steps)
+            trial.attrs["completed"] = engine.all_informed
     completed = engine.all_informed
     time = engine.completion_time if completed else engine.step
     result = BroadcastResult(
@@ -260,6 +275,7 @@ def repeat_broadcast(
     faults: FaultPlan | None = None,
     metrics: MetricsRegistry | None = None,
     timings: Timings | None = None,
+    spans: SpanRecorder | None = None,
 ) -> list[BroadcastResult]:
     """Run the same broadcast ``runs`` times with seeds ``base_seed + i``.
 
@@ -287,7 +303,11 @@ def repeat_broadcast(
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`
             shared by every trial.
         timings: Optional :class:`~repro.obs.timings.Timings` shared by
-            every trial; defaults to a fresh one when ``metrics`` is given.
+            every trial; defaults to a fresh one when ``metrics`` or
+            ``spans`` is given.
+        spans: Optional :class:`~repro.obs.spans.SpanRecorder` shared by
+            every trial (batched execution records one ``trial`` span for
+            the whole batch — its stage costs are joint).
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be positive, got {runs}")
@@ -295,7 +315,7 @@ def repeat_broadcast(
         raise ConfigurationError(f"unknown engine {engine!r}")
     if algorithm.deterministic and (faults is None or faults.loss_probability == 0.0):
         runs = 1
-    if timings is None and metrics is not None:
+    if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     if engine != "reference":
         # Imported lazily: fast.py imports this module for BroadcastResult.
@@ -310,6 +330,7 @@ def repeat_broadcast(
             faults=faults,
             metrics=metrics,
             timings=timings,
+            spans=spans,
         )
         if require_completion:
             for result in results:
@@ -330,6 +351,7 @@ def repeat_broadcast(
             faults=faults,
             metrics=metrics,
             timings=timings,
+            spans=spans,
         )
         for seed in derive_trial_seeds(base_seed, runs)
     ]

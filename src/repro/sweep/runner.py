@@ -39,6 +39,7 @@ from typing import Callable, Sequence
 from ..analysis import render_table
 from ..obs.metrics import MetricsRegistry
 from ..obs.runlog import RunLogger
+from ..obs.telemetry import TelemetryHub, WorkerTelemetry
 from ..obs.timings import Timings
 from ..sim.errors import ConfigurationError, SimulationError
 from ..sim.faults import FaultPlan
@@ -104,7 +105,8 @@ def _point_from_canonical(payload: dict) -> SweepPoint:
 
 
 def execute_point(
-    canonical: dict, instrument: bool = False, profile_dir: str | None = None
+    canonical: dict, instrument: bool = False, profile_dir: str | None = None,
+    telemetry: WorkerTelemetry | None = None, index: int | None = None,
 ) -> dict:
     """Run one sweep point; top-level so worker processes can unpickle it.
 
@@ -120,6 +122,14 @@ def execute_point(
             this directory — the per-point hook that makes hot-path
             attribution work across the multiprocessing pool.  Profiling
             observes only; the payload is identical either way.
+        telemetry: Optional
+            :class:`~repro.obs.telemetry.WorkerTelemetry` bundle.  When
+            given, the point streams a ``point_running`` progress beat
+            and a ``point`` span (with nested trial and stage spans)
+            through the bundle's sender; the payload is bit-identical
+            either way.
+        index: The point's grid index, carried on telemetry events so the
+            parent can attribute them.
 
     Returns:
         JSON-safe payload with per-trial times and summary statistics.
@@ -137,42 +147,72 @@ def execute_point(
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            payload = _execute_point_body(canonical, instrument)
+            payload = _execute_point_body(
+                canonical, instrument, telemetry=telemetry, index=index
+            )
         finally:
             profiler.disable()
         directory = pathlib.Path(profile_dir)
         directory.mkdir(parents=True, exist_ok=True)
         profiler.dump_stats(str(directory / profile_file_name(payload["label"])))
         return payload
-    return _execute_point_body(canonical, instrument)
+    return _execute_point_body(canonical, instrument, telemetry=telemetry, index=index)
 
 
-def _execute_point_body(canonical: dict, instrument: bool = False) -> dict:
+def _execute_point_body(
+    canonical: dict, instrument: bool = False,
+    telemetry: WorkerTelemetry | None = None, index: int | None = None,
+) -> dict:
     point = _point_from_canonical(canonical)
     metrics: MetricsRegistry | None = None
     timings: Timings | None = None
+    observe = instrument or telemetry is not None
     if instrument:
         metrics = MetricsRegistry()
+    if observe:
         timings = Timings()
-        t_start = time.perf_counter()
-    network = build_topology(point.topology, dict(point.topology_params))
-    algorithm = build_algorithm(point.algorithm, network, dict(point.algorithm_params))
-    if instrument:
-        t_built = time.perf_counter()
-        timings.add("point.build", t_built - t_start)
-    results = repeat_broadcast(
-        network,
-        algorithm,
-        runs=point.trials,
-        base_seed=point.base_seed,
-        max_steps=point.max_steps,
-        require_completion=False,
-        faults=point.faults,
-        metrics=metrics,
-        timings=timings,
-    )
-    if instrument:
-        timings.add("point.run", time.perf_counter() - t_built)
+    recorder = point_span = None
+    if telemetry is not None:
+        recorder = telemetry.recorder()
+        telemetry.sender.emit(
+            {"event": "point_running", "index": index, "label": point.label()}
+        )
+        point_span = recorder.start(
+            point.label(), "point",
+            parent_id=telemetry.context.parent_id,
+            index=index,
+        )
+    try:
+        t_start = time.perf_counter() if observe else 0.0
+        network = build_topology(point.topology, dict(point.topology_params))
+        algorithm = build_algorithm(
+            point.algorithm, network, dict(point.algorithm_params)
+        )
+        if observe:
+            t_built = time.perf_counter()
+            timings.add("point.build", t_built - t_start)
+        results = repeat_broadcast(
+            network,
+            algorithm,
+            runs=point.trials,
+            base_seed=point.base_seed,
+            max_steps=point.max_steps,
+            require_completion=False,
+            faults=point.faults,
+            metrics=metrics,
+            timings=timings,
+            spans=recorder,
+        )
+        if observe:
+            timings.add("point.run", time.perf_counter() - t_built)
+        if point_span is not None:
+            point_span.attrs["runs"] = len(results)
+    finally:
+        if recorder is not None:
+            # ``point.build`` / ``point.run`` as synthetic stage lanes;
+            # the engine.* stages already landed under the trial span.
+            recorder.emit_stage_spans(point_span, {}, timings, prefix="point.")
+            recorder.end(point_span)
     times = [r.time for r in results]
     payload = {
         "point": canonical,
@@ -275,6 +315,7 @@ class SweepOutcome:
 def _pool_worker(
     task_queue, result_queue, instrument: bool = False,
     profile_dir: str | None = None,
+    telemetry: WorkerTelemetry | None = None,
 ) -> None:
     """Worker loop: announce the task, run it, report the outcome.
 
@@ -292,9 +333,10 @@ def _pool_worker(
         try:
             # Positional single-arg call when uninstrumented: tests may
             # monkeypatch ``execute_point`` with one-argument stand-ins.
-            if instrument or profile_dir is not None:
+            if instrument or profile_dir is not None or telemetry is not None:
                 payload = execute_point(
-                    canonical, instrument=instrument, profile_dir=profile_dir
+                    canonical, instrument=instrument, profile_dir=profile_dir,
+                    telemetry=telemetry, index=index,
                 )
             else:
                 payload = execute_point(canonical)
@@ -317,6 +359,8 @@ def _run_pool(
     instrument: bool = False,
     on_event: Callable[..., None] | None = None,
     profile_dir: str | None = None,
+    telemetry: TelemetryHub | None = None,
+    parent_span=None,
 ) -> dict[int, tuple[str, int]]:
     """Execute ``(index, canonical)`` tasks on a kill-tolerant pool.
 
@@ -324,7 +368,11 @@ def _run_pool(
     (when given) observes lifecycle transitions as
     ``on_event(kind, index, **info)`` with kinds ``spawned`` / ``started``
     / ``timed_out`` / ``killed`` / ``retried`` / ``failed``; the runner
-    uses it for run logs and queue-wait timing.  Returns
+    uses it for run logs and queue-wait timing.  When a ``telemetry``
+    hub is given its bus is opened on the pool's multiprocessing context,
+    each worker gets a sender (worker spans nest under ``parent_span``),
+    and the bus is drained on every poll iteration so events stream while
+    points are still executing.  Returns
     ``index -> (error, attempts)`` for every task that exhausted its
     attempts (empty on full success); never raises for task-level
     failures.
@@ -335,6 +383,10 @@ def _run_pool(
         context = multiprocessing.get_context("spawn")
     task_queue = context.Queue()
     result_queue = context.Queue()
+    worker_telemetry: WorkerTelemetry | None = None
+    if telemetry is not None:
+        telemetry.open_bus(context)
+        worker_telemetry = telemetry.worker_telemetry(parent_span)
 
     canonicals = dict(tasks)
     attempts = {index: 0 for index, _ in tasks}
@@ -376,7 +428,8 @@ def _run_pool(
     def spawn() -> "multiprocessing.Process":
         process = context.Process(
             target=_pool_worker,
-            args=(task_queue, result_queue, instrument, profile_dir),
+            args=(task_queue, result_queue, instrument, profile_dir,
+                  worker_telemetry),
             daemon=True,
         )
         process.start()
@@ -389,6 +442,8 @@ def _run_pool(
 
     try:
         while remaining:
+            if telemetry is not None:
+                telemetry.drain()
             now = time.monotonic()
             for ready, index in list(delayed):
                 if ready <= now:
@@ -452,6 +507,8 @@ def _run_pool(
                 clear_inflight(index)
                 handle_failure(index, message[2], message[3])
     finally:
+        if telemetry is not None:
+            telemetry.drain()
         for process in processes:
             process.kill()
         for process in processes:
@@ -470,6 +527,7 @@ def _execute_serial(
     instrument: bool = False,
     on_event: Callable[..., None] | None = None,
     profile_dir: str | None = None,
+    telemetry: WorkerTelemetry | None = None,
 ) -> dict[int, tuple[str, int]]:
     """In-process counterpart of :func:`_run_pool` (no timeout support)."""
 
@@ -483,9 +541,10 @@ def _execute_serial(
             emit("spawned", index, attempt=attempt + 1)
             emit("started", index)
             try:
-                if instrument or profile_dir is not None:
+                if instrument or profile_dir is not None or telemetry is not None:
                     payload = execute_point(
-                        canonical, instrument=instrument, profile_dir=profile_dir
+                        canonical, instrument=instrument, profile_dir=profile_dir,
+                        telemetry=telemetry, index=index,
                     )
                 else:
                     payload = execute_point(canonical)
@@ -520,6 +579,7 @@ def run_sweep(
     runlog: RunLogger | None = None,
     metrics: MetricsRegistry | None = None,
     profile_dir: str | None = None,
+    telemetry: TelemetryHub | None = None,
 ) -> SweepOutcome:
     """Execute a sweep, sharding cache misses across worker processes.
 
@@ -568,6 +628,17 @@ def run_sweep(
             (workers write their own files; labels are unique per point,
             so parallel writers never clash).  Merge them back with
             :func:`repro.obs.profile.merge_stats_files`.
+        telemetry: Optional :class:`~repro.obs.telemetry.TelemetryHub`.
+            The sweep then records a ``sweep`` span, workers stream
+            ``point`` / ``trial`` / ``stage`` spans and ``point_running``
+            beats over the hub's bounded bus (drained live on the pool's
+            poll loop, never blocking workers), and every lifecycle event
+            fans out to the hub's subscribers as it happens.  When the
+            hub has a runlog and ``runlog`` is ``None``, the hub's is
+            used.  Results and cache bytes are bit-identical with
+            telemetry on or off; a saturated bus drops events and the
+            total is reported as one ``telemetry_dropped`` event (plus a
+            ``telemetry_dropped_events`` counter on ``metrics``).
 
     Returns:
         A :class:`SweepOutcome` with one :class:`PointResult` per grid
@@ -582,14 +653,32 @@ def run_sweep(
         raise ConfigurationError(f"retries must be non-negative, got {retries}")
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be positive, got {timeout}")
+    if telemetry is not None and runlog is None:
+        runlog = telemetry.runlog
+    observing = runlog is not None or telemetry is not None
+
+    def log(kind: str, **fields) -> None:
+        """One lifecycle event: into the runlog and out to hub subscribers."""
+        if runlog is not None:
+            record = runlog.event(kind, **fields)
+        else:
+            record = {"event": kind, **fields}
+        if telemetry is not None:
+            telemetry.notify(record)
+
     points = spec.points()
-    if runlog is not None:
-        runlog.event(
+    if observing:
+        log(
             "sweep_started",
             name=spec.name,
             points=len(points),
             workers=workers,
             instrument=instrument,
+        )
+    sweep_span = None
+    if telemetry is not None:
+        sweep_span = telemetry.recorder.start(
+            spec.name, "sweep", points=len(points), workers=workers
         )
     payloads: dict[int, dict] = {}
     cached_flags: dict[int, bool] = {}
@@ -599,8 +688,8 @@ def run_sweep(
         if hit is not None:
             payloads[i] = hit
             cached_flags[i] = True
-            if runlog is not None:
-                runlog.event("point_cache_hit", index=i, label=point.label())
+            if observing:
+                log("point_cache_hit", index=i, label=point.label())
             if on_point is not None:
                 on_point(point, hit, True)
         else:
@@ -620,7 +709,7 @@ def run_sweep(
         submit_times: dict[int, float] = {}
         start_times: dict[int, float] = {}
         point_attempts: dict[int, int] = {}
-        observe = instrument or runlog is not None
+        observe = instrument or observing
 
         def pool_event(kind: str, index: int, **info) -> None:
             now = time.perf_counter()
@@ -628,8 +717,8 @@ def run_sweep(
                 submit_times[index] = now
                 start_times.pop(index, None)
                 point_attempts[index] = info.get("attempt", 1)
-                if runlog is not None:
-                    runlog.event(
+                if observing:
+                    log(
                         "point_spawned",
                         index=index,
                         label=points[index].label(),
@@ -637,8 +726,8 @@ def run_sweep(
                     )
             elif kind == "started":
                 start_times[index] = now
-            elif runlog is not None:  # timed_out / killed / retried / failed
-                runlog.event(
+            elif observing:  # timed_out / killed / retried / failed
+                log(
                     f"point_{kind}",
                     index=index,
                     label=points[index].label(),
@@ -674,8 +763,8 @@ def run_sweep(
                 payload["timings"] = timings.to_dict()
             if metrics is not None and payload.get("metrics"):
                 metrics.merge(MetricsRegistry.from_dict(payload["metrics"]))
-            if runlog is not None:
-                runlog.event(
+            if observing:
+                log(
                     "point_completed",
                     index=index,
                     label=points[index].label(),
@@ -699,20 +788,38 @@ def run_sweep(
                 tasks, workers, timeout, retries, backoff, on_done,
                 instrument=instrument, on_event=on_event,
                 profile_dir=profile_dir,
+                telemetry=telemetry, parent_span=sweep_span,
             )
         else:
             failed = _execute_serial(
                 tasks, retries, backoff, on_done,
                 instrument=instrument, on_event=on_event,
                 profile_dir=profile_dir,
+                telemetry=(
+                    telemetry.local_telemetry(sweep_span)
+                    if telemetry is not None
+                    else None
+                ),
             )
 
-    if runlog is not None:
-        runlog.event(
+    executed_count = sum(1 for f in cached_flags.values() if not f)
+    cache_count = sum(1 for f in cached_flags.values() if f)
+    if telemetry is not None:
+        telemetry.drain()
+        telemetry.recorder.end(
+            sweep_span,
+            executed=executed_count, from_cache=cache_count, failed=len(failed),
+        )
+        if telemetry.dropped:
+            log("telemetry_dropped", count=telemetry.dropped)
+            if metrics is not None:
+                metrics.counter("telemetry_dropped_events").inc(telemetry.dropped)
+    if observing:
+        log(
             "sweep_completed",
             name=spec.name,
-            executed=sum(1 for f in cached_flags.values() if not f),
-            from_cache=sum(1 for f in cached_flags.values() if f),
+            executed=executed_count,
+            from_cache=cache_count,
             failed=len(failed),
         )
     if failed:

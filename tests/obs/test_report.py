@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import json
+
+from repro.analysis.progress import ascii_sparkline
 from repro.obs.metrics import MetricsRegistry, SLOT_BUCKETS
 from repro.obs.report import (
     render_metrics,
     render_report,
     render_timings,
+    report_json_from_file,
     report_from_file,
+    runlog_report_data,
 )
 from repro.obs.runlog import RunLogger
 from repro.obs.timings import Timings
@@ -79,3 +84,74 @@ def test_report_marks_failed_points(tmp_path):
         log.event("point_failed", index=0, label="doomed", attempts=2)
     output = report_from_file(path)
     assert "FAILED" in output and "doomed" in output
+
+
+class TestDegenerateInputs:
+    def test_empty_histogram_renders_without_stats(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("untouched", SLOT_BUCKETS)
+        output = render_metrics(metrics)
+        # Zero observations: count 0, mean 0.0, min/max dashed, no crash.
+        row = next(ln for ln in output.splitlines() if "untouched" in ln)
+        assert " 0 " in row and " - " in row
+
+    def test_single_bucket_histogram_sparkline(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("one_bucket", [10.0]).observe_many([1, 2, 3])
+        output = render_metrics(metrics)
+        row = next(ln for ln in output.splitlines() if "one_bucket" in ln)
+        # Two counts (the bucket + overflow), all mass in the first.
+        assert ascii_sparkline([3.0, 0.0], width=24) in row
+
+    def test_single_value_sparkline_is_flat(self):
+        # A constant series must not divide by zero; it draws the lowest
+        # glyph for every point.
+        line = ascii_sparkline([5.0, 5.0, 5.0], width=10)
+        assert len(line) == 3 and len(set(line)) == 1
+
+    def test_runlog_with_only_sweep_started(self, tmp_path):
+        path = tmp_path / "orphan.jsonl"
+        with RunLogger(path, run_id="feed") as log:
+            log.event("sweep_started", name="interrupted", points=9)
+        output = report_from_file(path)
+        # Header + lifecycle only: no runs/points/timings/metrics section.
+        assert "1 events" in output
+        assert "sweep_started" in output
+        assert "sweep points" not in output
+        assert "runs" not in output.split("lifecycle events")[1]
+        data = report_json_from_file(path)
+        assert data["lifecycle"] == {"sweep_started": 1}
+        assert data["timings"] == {}
+
+
+def test_report_json_golden():
+    events = [
+        {"ts": 10.0, "event": "sweep_started", "run_id": "feed",
+         "git_sha": "deadbee", "name": "demo", "points": 2},
+        {"ts": 10.5, "event": "point_cache_hit", "run_id": "feed",
+         "git_sha": "deadbee", "index": 0},
+        {"ts": 12.0, "event": "point_completed", "run_id": "feed",
+         "git_sha": "deadbee", "index": 1,
+         "timings": {"pool.execute": {"seconds": 0.25, "count": 1}},
+         "metrics": {"counters": {"runs_total": 2}}},
+        {"ts": 12.5, "event": "sweep_completed", "run_id": "feed",
+         "git_sha": "deadbee", "executed": 1, "from_cache": 1},
+    ]
+    data = runlog_report_data(events)
+    golden = {
+        "kind": "runlog",
+        "events": 4,
+        "run_ids": ["feed"],
+        "git_shas": ["deadbee"],
+        "span_s": 2.5,
+        "lifecycle": {
+            "sweep_started": 1,
+            "point_cache_hit": 1,
+            "point_completed": 1,
+            "sweep_completed": 1,
+        },
+        "timings": {"pool.execute": {"seconds": 0.25, "count": 1}},
+        "metrics": {"counters": {"runs_total": 2}, "gauges": {},
+                    "histograms": {}},
+    }
+    assert json.loads(json.dumps(data)) == golden

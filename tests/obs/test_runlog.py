@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
+import time
 
 import pytest
 
@@ -114,6 +117,141 @@ class TestValidation:
             _event("point_spawned", 2.2, index=0),
             _event("point_failed", 3.0, index=0),
         ]
+        assert validate_runlog(events) == []
+
+
+class TestTelemetryValidation:
+    def _span(self, ts, **overrides):
+        span = {
+            "ts": ts, "event": "span", "run_id": "r", "git_sha": "deadbee",
+            "span_id": "s0", "parent_id": None, "trace_id": "t",
+            "name": "quick", "kind": "sweep", "start_ts": ts - 1.0,
+            "end_ts": ts, "pid": 1,
+        }
+        span.update(overrides)
+        return span
+
+    def test_well_formed_telemetry_events_pass(self):
+        events = [
+            _event("sweep_started", 1.0, points=1),
+            _event("point_running", 1.1, index=0),
+            self._span(2.0),
+            _event("telemetry_dropped", 2.1, count=0),
+            _event("sweep_completed", 2.2),
+        ]
+        assert validate_runlog(events) == []
+
+    def test_malformed_spans_reported(self):
+        cases = [
+            (self._span(2.0, span_id=7), "string span_id"),
+            (self._span(2.0, name=""), "without a name"),
+            (self._span(2.0, kind="galaxy"), "span kind"),
+            (self._span(2.0, start_ts="soon"), "numeric start_ts"),
+            (self._span(2.0, end_ts=0.5), "ends before it starts"),
+            (self._span(2.0, parent_id=12), "not a string"),
+        ]
+        for span, fragment in cases:
+            errors = validate_runlog([span])
+            assert any(fragment in e for e in errors), (fragment, errors)
+
+    def test_point_running_requires_index(self):
+        errors = validate_runlog([_event("point_running", 1.0)])
+        assert any("point_running without an index" in e for e in errors)
+
+    def test_telemetry_dropped_count_checked(self):
+        for bad in (-1, True, "3", None):
+            errors = validate_runlog([_event("telemetry_dropped", 1.0, count=bad)])
+            assert any("telemetry_dropped" in e for e in errors), bad
+
+    def test_point_event_run_id_must_match_sweep_envelope(self):
+        events = [
+            _event("sweep_started", 1.0, run="sweep-run", points=1),
+            _event("point_cache_hit", 1.1, run="other-run", index=0),
+        ]
+        errors = validate_runlog(events)
+        assert any("no matching sweep_started envelope" in e for e in errors)
+
+    def test_single_run_logs_are_exempt_from_envelope_rule(self):
+        # `repro run` writes point-free logs with no sweep_started at all;
+        # a lone cache-hit style event must not demand an envelope.
+        events = [
+            _event("point_spawned", 1.0, index=0),
+            _event("point_completed", 2.0, index=0),
+        ]
+        assert validate_runlog(events) == []
+
+
+class TestFlushBatching:
+    def test_default_flushes_every_event(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RunLogger(path)
+        try:
+            log.event("a")
+            # Visible to a concurrent reader before close: per-event flush.
+            assert [e["event"] for e in read_runlog(path)] == ["a"]
+        finally:
+            log.close()
+
+    def test_interval_batches_until_batch_size(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RunLogger(path, flush_interval=60.0, flush_batch=4)
+        try:
+            for kind in ("a", "b", "c"):
+                log.event(kind)
+            assert read_runlog(path) == []  # still buffered
+            log.event("d")  # hits flush_batch
+            assert [e["event"] for e in read_runlog(path)] == ["a", "b", "c", "d"]
+        finally:
+            log.close()
+
+    def test_interval_elapsing_forces_flush(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RunLogger(path, flush_interval=0.01, flush_batch=1000)
+        try:
+            log.event("a")
+            time.sleep(0.03)
+            log.event("b")  # interval elapsed -> flush
+            assert len(read_runlog(path)) == 2
+        finally:
+            log.close()
+
+    def test_explicit_flush_and_close_flush(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RunLogger(path, flush_interval=60.0, flush_batch=1000)
+        log.event("a")
+        log.flush()
+        assert len(read_runlog(path)) == 1
+        log.event("b")
+        log.close()
+        assert len(read_runlog(path)) == 2
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_interval"):
+            RunLogger(tmp_path / "x.jsonl", flush_interval=-1.0)
+        with pytest.raises(ValueError, match="flush_batch"):
+            RunLogger(tmp_path / "x.jsonl", flush_batch=0)
+
+    def test_killed_writer_loses_at_most_one_batch(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        total, batch = 10, 4
+
+        def writer():
+            log = RunLogger(path, run_id="kill", flush_interval=60.0,
+                            flush_batch=batch)
+            for i in range(total):
+                log.event("tick", i=i)
+            os._exit(0)  # killed: no close(), no interpreter cleanup
+
+        process = multiprocessing.get_context("fork").Process(target=writer)
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        events = read_runlog(path)
+        # Batch flushes fired at events 4 and 8; the trailing partial
+        # batch (2 events) died in the buffer.  The guarantee under test:
+        # a killed writer loses strictly less than one full batch.
+        assert total - batch < len(events) <= total
+        assert [e["i"] for e in events] == list(range(len(events)))
         assert validate_runlog(events) == []
 
 

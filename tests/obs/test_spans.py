@@ -1,0 +1,228 @@
+"""Span model, Timings-delta stage synthesis, and trace-event export."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_KINDS,
+    Span,
+    SpanRecorder,
+    TraceFormatError,
+    export_trace_events,
+    new_span_id,
+    parse_trace_events,
+    span_events,
+    write_trace,
+)
+from repro.obs.timings import Timings
+
+
+def make_recorder(sink=None, start=100.0, step=1.0):
+    """Recorder with a deterministic clock and sequential span ids."""
+    ticks = itertools.count()
+    ids = itertools.count()
+    return SpanRecorder(
+        sink=sink,
+        clock=lambda: start + step * next(ticks),
+        trace_id="trace0",
+        id_factory=lambda: f"s{next(ids)}",
+    )
+
+
+class TestSpanModel:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown span kind"):
+            Span("x", "galaxy", "id", None, "t", 0.0, pid=1)
+
+    def test_new_span_id_shape(self):
+        a, b = new_span_id(), new_span_id()
+        assert a != b and len(a) == 16
+        int(a, 16)
+
+    def test_to_event_wire_form(self):
+        recorder = make_recorder()
+        span = recorder.start("quick", "sweep", points=4)
+        recorder.end(span)
+        event = span.to_event()
+        assert event["event"] == "span"
+        assert event["name"] == "quick" and event["kind"] == "sweep"
+        assert event["span_id"] == "s0" and event["parent_id"] is None
+        assert event["end_ts"] >= event["start_ts"]
+        assert event["attrs"] == {"points": 4}
+
+
+class TestNesting:
+    def test_stack_nesting_and_sink(self):
+        events = []
+        recorder = make_recorder(sink=events.append)
+        outer = recorder.start("sweep", "sweep")
+        inner = recorder.start("p0", "point")
+        assert inner.parent_id == outer.span_id
+        assert recorder.current is inner
+        recorder.end(inner)
+        recorder.end(outer)
+        assert [e["name"] for e in events] == ["p0", "sweep"]
+        assert recorder.current is None
+
+    def test_explicit_parent_crosses_processes(self):
+        # A worker-side recorder attaches its point span to the parent's
+        # sweep span id — the context-propagation contract.
+        recorder = make_recorder()
+        span = recorder.start("p1", "point", parent_id="parent-sweep-id")
+        assert span.parent_id == "parent-sweep-id"
+
+    def test_context_manager_closes_on_exception(self):
+        events = []
+        recorder = make_recorder(sink=events.append)
+        with pytest.raises(RuntimeError):
+            with recorder.span("trial", "trial"):
+                raise RuntimeError("boom")
+        assert [e["name"] for e in events] == ["trial"]
+        assert recorder.current is None
+
+    def test_out_of_order_end_tolerated(self):
+        recorder = make_recorder()
+        outer = recorder.start("a", "sweep")
+        inner = recorder.start("b", "point")
+        recorder.end(outer)  # exception path may close outer first
+        recorder.end(inner)
+        assert recorder.current is None
+
+    def test_monotone_end_clamp(self):
+        ticks = iter([100.0, 50.0])
+        recorder = SpanRecorder(clock=lambda: next(ticks))
+        span = recorder.start("a", "sweep")
+        recorder.end(span)
+        assert span.end_ts == span.start_ts == 100.0
+
+
+class TestStageSynthesis:
+    def test_emit_stage_spans_from_delta(self):
+        events = []
+        recorder = make_recorder(sink=events.append)
+        timings = Timings()
+        timings.add("engine.step", 1.0, count=3)
+        parent = recorder.start("trial", "trial")
+        before = recorder.stage_snapshot(timings)
+        timings.add("engine.step", 2.0, count=5)
+        timings.add("engine.coins", 0.5, count=5)
+        timings.add("point.build", 9.0)  # wrong prefix: skipped
+        spans = recorder.emit_stage_spans(parent, before, timings)
+        names = {s.name: s for s in spans}
+        assert set(names) == {"engine.step", "engine.coins"}
+        step = names["engine.step"]
+        # Only the delta accumulated inside the parent, not the prior 1.0s.
+        assert step.duration == pytest.approx(2.0)
+        assert step.attrs == {"count": 5, "synthetic": True}
+        assert step.start_ts == parent.start_ts
+        assert step.parent_id == parent.span_id
+        assert all(e["event"] == "span" for e in events)
+
+    def test_no_timings_no_stage_spans(self):
+        recorder = make_recorder()
+        parent = recorder.start("trial", "trial")
+        assert recorder.emit_stage_spans(parent, {}, None) == []
+
+    def test_trial_span_contextmanager(self):
+        events = []
+        recorder = make_recorder(sink=events.append)
+        timings = Timings()
+        with recorder.trial_span("trial[0]", timings, seed=0) as span:
+            timings.add("engine.step", 0.25, count=2)
+        kinds = [(e["name"], e["kind"]) for e in events]
+        assert ("engine.step", "stage") in kinds
+        assert ("trial[0]", "trial") in kinds
+        assert span.end_ts is not None
+
+
+def finished_events():
+    """A two-process span tree as runlog events (parent pid 1, worker 2)."""
+    sweep = {
+        "event": "span", "span_id": "sw", "parent_id": None,
+        "trace_id": "t", "name": "quick", "kind": "sweep",
+        "start_ts": 100.0, "end_ts": 104.0, "pid": 1,
+    }
+    point = {
+        "event": "span", "span_id": "pt", "parent_id": "sw",
+        "trace_id": "t", "name": "p0", "kind": "point",
+        "start_ts": 100.5, "end_ts": 103.0, "pid": 2,
+    }
+    trial = {
+        "event": "span", "span_id": "tr", "parent_id": "pt",
+        "trace_id": "t", "name": "batch[3]", "kind": "trial",
+        "start_ts": 100.6, "end_ts": 102.9, "pid": 2,
+    }
+    stage = {
+        "event": "span", "span_id": "st", "parent_id": "tr",
+        "trace_id": "t", "name": "engine.step", "kind": "stage",
+        "start_ts": 100.6, "end_ts": 102.0, "pid": 2,
+        "attrs": {"count": 9, "synthetic": True},
+    }
+    other = {"event": "point_completed", "index": 0}
+    return [other, sweep, point, trial, stage]
+
+
+class TestTraceExport:
+    def test_span_events_filters(self):
+        events = finished_events()
+        assert [s["span_id"] for s in span_events(events)] == ["sw", "pt", "tr", "st"]
+
+    def test_export_pid_tid_mapping(self):
+        document = export_trace_events(finished_events())
+        entries = document["traceEvents"]
+        meta = [e for e in entries if e["ph"] == "M"]
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {1: "parent", 2: "worker-2"}
+        complete = {e["args"]["span_id"]: e for e in entries if e["ph"] == "X"}
+        # Lifecycle spans on tid 0; the synthetic stage on its own lane.
+        assert complete["sw"]["tid"] == 0
+        assert complete["pt"]["tid"] == 0
+        assert complete["st"]["tid"] != 0
+        # Microseconds relative to the earliest start.
+        assert complete["sw"]["ts"] == 0.0
+        assert complete["pt"]["ts"] == pytest.approx(0.5e6)
+        assert complete["st"]["dur"] == pytest.approx(1.4e6)
+        assert complete["st"]["args"]["synthetic"] is True
+
+    def test_export_requires_spans(self):
+        with pytest.raises(TraceFormatError, match="no span events"):
+            export_trace_events([{"event": "sweep_started"}])
+
+    def test_export_rejects_backwards_span(self):
+        events = finished_events()
+        events[1]["end_ts"] = events[1]["start_ts"] - 1
+        with pytest.raises(TraceFormatError, match="ends before it starts"):
+            export_trace_events(events)
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = write_trace(finished_events(), tmp_path / "out.trace.json")
+        records = parse_trace_events(path.read_text())
+        assert {r["span_id"] for r in records} == {"sw", "pt", "tr", "st"}
+        by_id = {r["span_id"]: r for r in records}
+        assert by_id["st"]["parent_id"] == "tr"
+        assert by_id["sw"]["parent_id"] is None
+        assert all(r["kind"] in SPAN_KINDS for r in records)
+
+    def test_parse_rejects_bad_documents(self):
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            parse_trace_events("{nope")
+        with pytest.raises(TraceFormatError, match="traceEvents"):
+            parse_trace_events("{}")
+        document = export_trace_events(finished_events())
+        document["traceEvents"].append({"ph": "Z"})
+        with pytest.raises(TraceFormatError, match="unknown phase"):
+            parse_trace_events(json.dumps(document))
+
+    def test_parse_rejects_dangling_parent(self):
+        events = finished_events()
+        events[4]["parent_id"] = "ghost"
+        document = export_trace_events(events)
+        with pytest.raises(TraceFormatError, match="unknown parent"):
+            parse_trace_events(json.dumps(document))

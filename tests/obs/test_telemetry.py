@@ -1,0 +1,181 @@
+"""Telemetry bus: senders, drop counting, hub fan-out, context propagation."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.obs.runlog import RunLogger, read_runlog, validate_runlog
+from repro.obs.telemetry import (
+    DEFAULT_CAPACITY,
+    LocalSender,
+    SpanContext,
+    TelemetryBus,
+    TelemetryHub,
+    WorkerTelemetry,
+)
+
+
+@pytest.fixture
+def bus():
+    bus = TelemetryBus(multiprocessing.get_context("fork"), capacity=4)
+    yield bus
+    bus.close()
+
+
+class TestBus:
+    def test_events_flow_through(self, bus):
+        sender = bus.sender()
+        assert sender.emit({"event": "point_running", "index": 0})
+        assert sender.emit({"event": "point_running", "index": 1})
+        drained = bus.drain(timeout=2.0)
+        assert [e["index"] for e in drained] == [0, 1]
+        # Sender stamps its pid so the parent can attribute events.
+        assert all("pid" in e for e in drained)
+        assert bus.dropped == 0
+
+    def test_saturated_bus_counts_drops(self):
+        bus = TelemetryBus(multiprocessing.get_context("fork"), capacity=2)
+        try:
+            sender = bus.sender()
+            sent = sum(sender.emit({"event": "x", "i": i}) for i in range(10))
+            assert sent == 2  # capacity; the other 8 were shed, not blocked
+            assert sender.dropped == 8
+            # The cumulative count piggybacks on the next successful emit.
+            bus.drain(timeout=2.0)
+            assert bus.dropped == 0  # no successful emit has reported yet
+            assert sender.emit({"event": "y"})
+            drained = bus.drain(timeout=2.0)
+            # drain() folds the piggybacked count into the tally and
+            # strips it from the delivered record.
+            assert "dropped" not in drained[-1]
+            assert bus.dropped == 8
+        finally:
+            bus.close()
+
+    def test_drop_count_is_cumulative_per_sender(self):
+        bus = TelemetryBus(multiprocessing.get_context("fork"), capacity=1)
+        try:
+            sender = bus.sender()
+            for round_ in range(3):
+                sender.emit({"event": "fill"})   # occupies the slot
+                sender.emit({"event": "shed"})   # dropped
+                bus.drain(timeout=2.0)
+            assert sender.dropped == 3
+            sender.emit({"event": "final"})
+            bus.drain(timeout=2.0)
+            # Parent keeps the latest cumulative value, not a sum of reports.
+            assert bus.dropped == 3
+        finally:
+            bus.close()
+
+    def test_default_capacity_is_bounded(self):
+        bus = TelemetryBus(multiprocessing.get_context("fork"))
+        try:
+            sender = bus.sender()
+            for i in range(DEFAULT_CAPACITY + 50):
+                sender.emit({"event": "x", "i": i})
+            assert sender.dropped > 0
+        finally:
+            bus.close()
+
+    def test_emit_does_not_mutate_caller_dict(self, bus):
+        record = {"event": "point_running", "index": 3}
+        bus.sender().emit(record)
+        assert record == {"event": "point_running", "index": 3}
+
+
+class TestLocalSender:
+    def test_direct_delivery(self):
+        seen = []
+        sender = LocalSender(seen.append)
+        assert sender.emit({"event": "a"})
+        assert seen[0]["event"] == "a" and "pid" in seen[0]
+        assert sender.dropped == 0
+
+
+class TestWorkerTelemetry:
+    def test_recorder_nests_under_context(self):
+        seen = []
+        telemetry = WorkerTelemetry(
+            sender=LocalSender(seen.append),
+            context=SpanContext(trace_id="t0", parent_id="sweep-span"),
+        )
+        recorder = telemetry.recorder()
+        span = recorder.start("p0", "point", parent_id=telemetry.context.parent_id)
+        recorder.end(span)
+        assert span.trace_id == "t0"
+        assert seen[0]["parent_id"] == "sweep-span"
+
+    def test_context_is_picklable(self):
+        import pickle
+
+        context = SpanContext(trace_id="t0", parent_id="sweep-span")
+        assert pickle.loads(pickle.dumps(context)) == context
+
+
+class TestHub:
+    def test_ingest_writes_runlog_and_notifies(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        seen = []
+        with RunLogger(path) as runlog:
+            hub = TelemetryHub(runlog=runlog)
+            hub.subscribe(seen.append)
+            with hub.recorder.span("quick", "sweep"):
+                pass
+            hub.notify({"event": "sweep_completed", "points": 0})
+            hub.close()
+        events = read_runlog(path)
+        # The span landed in the runlog via ingest; notify() alone doesn't write.
+        assert [e["event"] for e in events] == ["span"]
+        assert [e["event"] for e in seen] == ["span", "sweep_completed"]
+        assert validate_runlog(events) == []
+
+    def test_worker_telemetry_requires_open_bus(self):
+        hub = TelemetryHub()
+        sweep = hub.recorder.start("s", "sweep")
+        with pytest.raises(RuntimeError, match="open_bus"):
+            hub.worker_telemetry(sweep)
+
+    def test_bus_round_trip_through_hub(self):
+        hub = TelemetryHub()
+        seen = []
+        hub.subscribe(seen.append)
+        sweep = hub.recorder.start("s", "sweep")
+        hub.open_bus(multiprocessing.get_context("fork"))
+        worker = hub.worker_telemetry(sweep)
+        assert worker.context.parent_id == sweep.span_id
+        worker.sender.emit({"event": "point_running", "index": 0})
+        recorder = worker.recorder()
+        with recorder.span("p0", "point", parent_id=worker.context.parent_id):
+            pass
+        hub.drain(timeout=2.0)
+        hub.close()
+        kinds = [e["event"] for e in seen]
+        assert kinds == ["point_running", "span"]
+        assert seen[1]["parent_id"] == sweep.span_id
+
+    def test_dropped_aggregates_from_bus(self):
+        hub = TelemetryHub(capacity=1)
+        sweep = hub.recorder.start("s", "sweep")
+        hub.open_bus(multiprocessing.get_context("fork"))
+        sender = hub.worker_telemetry(sweep).sender
+        for i in range(5):
+            sender.emit({"event": "x", "i": i})
+        hub.drain(timeout=2.0)
+        sender.emit({"event": "tail"})
+        hub.drain(timeout=2.0)
+        assert hub.dropped == sender.dropped > 0
+        hub.close()
+
+    def test_local_telemetry_skips_the_queue(self):
+        hub = TelemetryHub()
+        seen = []
+        hub.subscribe(seen.append)
+        sweep = hub.recorder.start("s", "sweep")
+        local = hub.local_telemetry(sweep)
+        local.sender.emit({"event": "point_running", "index": 0})
+        # No drain needed — delivery is synchronous.
+        assert seen[0]["event"] == "point_running"
+        hub.close()

@@ -214,8 +214,11 @@ def test_run_with_metrics_and_runlog(tmp_path, capsys):
     from repro.obs.runlog import assert_valid_runlog
 
     events = assert_valid_runlog(log)
-    assert [e["event"] for e in events] == ["run_started", "run_completed"]
-    assert events[1]["metrics"]["counters"]["runs_total"] == 1
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "run_started" and kinds[-1] == "run_completed"
+    # --log-jsonl also records the trial/stage span tree for the run.
+    assert "span" in kinds[1:-1]
+    assert events[-1]["metrics"]["counters"]["runs_total"] == 1
 
 
 def test_sweep_with_metrics_and_report(tmp_path, capsys):
@@ -418,3 +421,90 @@ def test_profile_sweep_quick(tmp_path, capsys):
     assert "2 point(s) profiled" in out
     assert "ncalls" in out
     assert len(list(tmp_path.glob("*.pstats"))) == 2
+
+
+def test_sweep_with_telemetry_writes_spans(tmp_path, capsys):
+    log = tmp_path / "sweep.jsonl"
+    code = main(["sweep", "--quick", "--no-cache", "--telemetry", "--quiet",
+                 "--log-jsonl", str(log)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "run log written" in out
+    from repro.obs.runlog import assert_valid_runlog
+
+    events = assert_valid_runlog(log)
+    spans = [e for e in events if e["event"] == "span"]
+    assert {s["kind"] for s in spans} >= {"sweep", "point", "trial", "stage"}
+
+
+def test_sweep_progress_line_on_tty(tmp_path, capsys, monkeypatch):
+    import io
+    import sys as sys_module
+
+    class FakeTty(io.StringIO):
+        def isatty(self):
+            return True
+
+    stream = FakeTty()
+    monkeypatch.setattr(sys_module, "stderr", stream)
+    code = main(["sweep", "--quick", "--cache-dir", str(tmp_path)])
+    assert code == 0
+    progress = stream.getvalue()
+    assert "[1/2]" in progress and "[2/2]" in progress
+    # --quiet suppresses the line entirely.
+    stream2 = FakeTty()
+    monkeypatch.setattr(sys_module, "stderr", stream2)
+    assert main(["sweep", "--quick", "--cache-dir", str(tmp_path),
+                 "--quiet"]) == 0
+    assert stream2.getvalue() == ""
+
+
+def test_trace_export_round_trips(tmp_path, capsys):
+    from repro.obs.spans import parse_trace_events
+
+    log = tmp_path / "sweep.jsonl"
+    assert main(["sweep", "--quick", "--no-cache", "--telemetry", "--quiet",
+                 "--log-jsonl", str(log)]) == 0
+    capsys.readouterr()
+    out_file = tmp_path / "sweep.trace.json"
+    code = main(["trace", "export", str(log), "-o", str(out_file)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "span(s)" in out and str(out_file) in out
+    records = parse_trace_events(out_file.read_text())
+    assert {r["kind"] for r in records} >= {"sweep", "point", "trial"}
+
+
+def test_trace_export_default_output_and_spanless_log(tmp_path, capsys):
+    log = tmp_path / "plain.jsonl"
+    assert main(["sweep", "--quick", "--no-cache",
+                 "--log-jsonl", str(log)]) == 0
+    capsys.readouterr()
+    # A runlog without telemetry has no spans: clean error, no file.
+    with pytest.raises(SystemExit, match="no span events"):
+        main(["trace", "export", str(log)])
+    assert not (tmp_path / "plain.trace.json").exists()
+
+
+def test_top_replay_renders_summary(tmp_path, capsys):
+    log = tmp_path / "sweep.jsonl"
+    assert main(["sweep", "--quick", "--no-cache", "--telemetry", "--quiet",
+                 "--log-jsonl", str(log)]) == 0
+    capsys.readouterr()
+    code = main(["top", "--replay", str(log)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sweep quick" in out
+    assert "2/2 (100%)" in out
+    assert "done in" in out
+
+
+def test_top_live_runs_a_sweep(tmp_path, capsys):
+    code = main(["top", "--quick", "--workers", "1",
+                 "--cache-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    # The view renders to stderr (stdout stays pipeable); the final
+    # summary line goes to stdout like `repro sweep`.
+    assert "2/2 (100%)" in captured.err
+    assert "2 points (2 executed, 0 from cache)" in captured.out
