@@ -131,3 +131,9 @@ class BGIBroadcast(BroadcastAlgorithm):
         # Expected time is O(D log n + log^2 n) <= O(n log n); leave slack.
         log_n = max(1, n.bit_length())
         return 64 * (n + log_n * log_n) * log_n
+
+    # -- forensics ---------------------------------------------------------
+
+    def stage_hint(self, step: int, trace=None) -> str | None:
+        """Charge a slot to its Decay probability scale ``2^-offset``."""
+        return f"decay[p=2^-{step % self.phase_len}]"

@@ -18,6 +18,10 @@ Subcommands:
   ``--replay`` a recorded run log.
 * ``trace`` — ``trace export`` turns a runlog's span events into Chrome
   trace-event / Perfetto JSON for visual inspection.
+* ``explain`` — broadcast forensics from a FULL trace: ``explain run``
+  derives the propagation DAG, slot-attribution taxonomy, and stage
+  table for one run (any engine, bit-identical output); ``explain
+  sweep`` aggregates the forensic scalars over repeated seeds.
 * ``report`` — render a JSONL run log (``--log-jsonl``) or a benchmark
   trajectory back into tables, or ``--json`` for machines (see
   ``docs/OBSERVABILITY.md``).
@@ -45,6 +49,9 @@ Examples::
     repro top --quick --workers 4
     repro top --replay sweep.jsonl
     repro trace export sweep.jsonl -o sweep.trace.json
+    repro explain run --topology km-layered --n 128 --depth 16 --algorithm kp
+    repro explain run --algorithm select-and-send --n 32 --json
+    repro explain sweep --algorithm bgi --n 64 --runs 10 --json
     repro report sweep.jsonl
     repro report benchmarks/results/BENCH_trajectory.jsonl --json
     repro bench --quick --compare
@@ -546,6 +553,95 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.forensics import analyze, forensic_span_events
+    from .sim.errors import ConfigurationError
+
+    net = _build_topology(args)
+    algorithm = _build_algorithm(args.algorithm, net)
+    try:
+        if args.engine == "fast":
+            from .sim.fast import run_broadcast_fast
+
+            result = run_broadcast_fast(
+                net, algorithm, seed=args.seed, trace_level=TraceLevel.FULL,
+            )
+        else:
+            result = run_broadcast(
+                net, algorithm, seed=args.seed, trace_level=TraceLevel.FULL,
+                engine=args.engine,
+            )
+    except ConfigurationError as exc:
+        raise SystemExit(f"explain failed: {exc}")
+    report = analyze(result, algorithm=algorithm)
+    if args.export_trace:
+        from .obs.spans import write_trace
+
+        path = write_trace(forensic_span_events(report), args.export_trace)
+        if not args.json:
+            print(f"forensic trace written to {path} "
+                  f"(load in Perfetto or chrome://tracing)")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(net.describe())
+        print(report.render())
+    return 0 if result.completed else 1
+
+
+def _cmd_explain_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import MetricsRegistry
+    from .obs.forensics import analyze, record_forensics_metrics
+    from .obs.report import render_metrics
+    from .sim.errors import ConfigurationError
+    from .sim.fast import run_broadcast_batch
+
+    net = _build_topology(args)
+    algorithm = _build_algorithm(args.algorithm, net)
+    try:
+        results = run_broadcast_batch(
+            net, algorithm, trials=args.runs, base_seed=args.seed,
+            trace_level=TraceLevel.FULL,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"explain failed: {exc}")
+    registry = MetricsRegistry()
+    rows = []
+    per_run = []
+    for result in results:
+        report = analyze(result, algorithm=algorithm)
+        record_forensics_metrics(registry, report)
+        scalars = report.scalars()
+        per_run.append({"seed": result.seed, **scalars})
+        rows.append([
+            result.seed, scalars["slots"], scalars["wasted_slot_fraction"],
+            scalars["critical_path_depth"], scalars["redundancy_ratio"],
+        ])
+    if args.json:
+        print(json.dumps(
+            {
+                "algorithm": algorithm.name,
+                "runs": per_run,
+                "metrics": registry.to_dict(),
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(net.describe())
+        print(render_table(
+            ["seed", "slots", "wasted_frac", "crit_depth", "redundancy"],
+            rows,
+            title=f"forensic sweep: {algorithm.name} x {len(results)} seeds",
+        ))
+        print()
+        print(render_metrics(registry))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import json
 
@@ -884,6 +980,38 @@ def main(argv: list[str] | None = None) -> int:
     p_trace_export.add_argument("-o", "--output", metavar="FILE", default=None,
                                 help="output path (default: <runlog>.trace.json)")
     p_trace_export.set_defaults(func=_cmd_trace_export)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="broadcast forensics: propagation DAG, slot attribution, stages",
+    )
+    explain_sub = p_explain.add_subparsers(dest="explain_command", required=True)
+    p_ex_run = explain_sub.add_parser(
+        "run", help="explain one broadcast (tables or --json)"
+    )
+    _add_topology_args(p_ex_run)
+    p_ex_run.add_argument("--algorithm", default="kp", choices=ALGORITHM_CHOICES)
+    p_ex_run.add_argument("--seed", type=int, default=0)
+    p_ex_run.add_argument("--engine", default="reference",
+                          choices=["reference", "event", "fast"],
+                          help="engine to record the trace on (forensic "
+                               "output is bit-identical across engines)")
+    p_ex_run.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    p_ex_run.add_argument("--export-trace", metavar="FILE", default=None,
+                          help="also write DAG / slot-class / stage lanes "
+                               "as Chrome trace-event JSON")
+    p_ex_run.set_defaults(func=_cmd_explain_run)
+    p_ex_sweep = explain_sub.add_parser(
+        "sweep", help="aggregate forensic scalars over repeated seeds"
+    )
+    _add_topology_args(p_ex_sweep)
+    p_ex_sweep.add_argument("--algorithm", default="kp", choices=ALGORITHM_CHOICES)
+    p_ex_sweep.add_argument("--seed", type=int, default=0, help="base seed")
+    p_ex_sweep.add_argument("--runs", type=int, default=5)
+    p_ex_sweep.add_argument("--json", action="store_true",
+                            help="emit per-run scalars + merged metrics as JSON")
+    p_ex_sweep.set_defaults(func=_cmd_explain_sweep)
 
     p_report = sub.add_parser(
         "report", help="render a JSONL run log or bench trajectory as tables"

@@ -52,6 +52,7 @@ from .echo import (
     TokenAnnounce,
     TokenPass,
     classify_echo,
+    startup_boundary,
 )
 
 __all__ = ["CompleteLayeredBroadcast"]
@@ -272,6 +273,8 @@ class CompleteLayeredBroadcast(BroadcastAlgorithm):
         """
         self.native_cd = native_cd
         self.name = "complete-layered" + ("+cd" if native_cd else "")
+        self._stage_cache_key: tuple[int, int] | None = None
+        self._stage_boundary: int | None = None
 
     def create(self, label: int, r: int, rng: random.Random) -> Protocol:
         return _CompleteLayeredProtocol(label, r, rng, native_cd=self.native_cd)
@@ -279,3 +282,19 @@ class CompleteLayeredBroadcast(BroadcastAlgorithm):
     def max_steps_hint(self, n: int, r: int) -> int | None:
         log_r = max(1, (r + 1).bit_length())
         return 2 * r + 8 + (n + 2) * (6 * log_r + 30)
+
+    def stage_hint(self, step: int, trace=None) -> str | None:
+        """Split a recorded run at the source's ``InitStop`` (its second
+        transmission): Part 1 startup vs the leader-chain phases."""
+        from ..sim.trace import TraceLevel
+
+        if trace is None or trace.level is not TraceLevel.FULL:
+            return None
+        key = (id(trace), len(trace.steps))
+        if self._stage_cache_key != key:
+            self._stage_cache_key = key
+            self._stage_boundary = startup_boundary(trace)
+        boundary = self._stage_boundary
+        if boundary is None or step < boundary:
+            return "startup"
+        return "leader-chain"

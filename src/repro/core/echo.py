@@ -52,6 +52,7 @@ __all__ = [
     "EchoReply",
     "TokenPass",
     "StopAll",
+    "startup_boundary",
 ]
 
 
@@ -366,3 +367,38 @@ class TokenPass:
 @dataclass(frozen=True, slots=True)
 class StopAll:
     """DFS complete: the source observed an empty unvisited set."""
+
+
+def startup_boundary(trace) -> int | None:
+    """First slot of the post-startup phase of a token algorithm's run.
+
+    Both deterministic token algorithms share Part 1: the initiator
+    transmits ``InitOrder`` (its first transmission), collects ``HereIAm``
+    replies, and ends the round-robin with ``InitStop`` — its *second*
+    transmission.  Everything after that slot is traversal (DFS token or
+    leader chain).  This reads only the recorded trace, so stage
+    attribution is a pure function of the trace and therefore identical
+    across engines whenever the traces are.
+
+    Args:
+        trace: A :class:`~repro.sim.trace.Trace` at ``TraceLevel.FULL``.
+
+    Returns:
+        The first traversal slot, or ``None`` when the trace is not FULL,
+        has no initially-informed root, or never left startup.
+    """
+    from ..sim.trace import TraceLevel
+
+    if trace is None or trace.level is not TraceLevel.FULL:
+        return None
+    roots = trace.initially_informed()
+    if len(roots) != 1:
+        return None
+    source = roots[0]
+    seen = 0
+    for record in trace.steps:
+        if source in record.transmitters:
+            seen += 1
+            if seen == 2:
+                return record.step + 1
+    return None

@@ -236,6 +236,24 @@ class _PhasedAlgorithm(BroadcastAlgorithm):
     def max_steps_hint(self, n: int, r: int) -> int | None:
         return self._total_duration
 
+    # -- forensics ---------------------------------------------------------
+
+    def stage_hint(self, step: int, trace=None) -> str | None:
+        """Charge a slot to its phase stage: source slot, sweep slot (by
+        probability scale), or the universal-sequence slot."""
+        located = _locate_phase(self._phase_starts, step)
+        if located is None:
+            return None
+        phase_index, offset = located
+        timetable = self._phases[phase_index]
+        prefix = f"D={timetable.d2}:" if len(self._phases) > 1 else ""
+        if offset == 0:
+            return f"{prefix}source"
+        position = (offset - 1) % timetable.stage_len
+        if timetable.universal is not None and position == timetable.stage_len - 1:
+            return f"{prefix}universal"
+        return f"{prefix}sweep[p=2^-{position}]"
+
 
 class KnownRadiusKP(_PhasedAlgorithm):
     """``Procedure Randomized-Broadcasting(D)`` with D known a priori.

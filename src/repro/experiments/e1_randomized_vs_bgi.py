@@ -13,6 +13,7 @@ from ..core import KnownRadiusKP
 from ..sim import run_broadcast_batch
 from ..topology import directed_complete_layered, km_hard_layered
 from .base import ExperimentReport, register
+from .forensic_golden import add_forensic_golden
 
 
 def _batch_times(net, algorithm, runs: int) -> list[int]:
@@ -118,5 +119,20 @@ def run(quick: bool = False, seeds: int | None = None) -> ExperimentReport:
         "directed graphs)",
         directed_bgi.mean / directed_kp.mean > 1.3,
         f"directed BGI/KP = {directed_bgi.mean / directed_kp.mean:.2f}",
+    )
+
+    golden_net = km_hard_layered(256, 16, seed=17)
+    add_forensic_golden(
+        report, golden_net, lambda: KnownRadiusKP(golden_net.r, 16),
+        seed=3, engines=("reference", "event", "fast"),
+        expected={
+            "slots": 106,
+            "informed": 256,
+            "total_transmissions": 1118,
+            "wasted_slot_fraction": 0.849057,
+            "critical_path_depth": 16,
+            "redundancy_ratio": 4.384314,
+        },
+        label="KP on km_hard_layered(256, 16, seed=17) @ seed 3",
     )
     return report

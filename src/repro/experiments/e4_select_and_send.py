@@ -12,6 +12,7 @@ from ..core import SelectAndSend
 from ..sim import repeat_broadcast, run_broadcast
 from ..topology import gnp_connected, grid, path, random_tree
 from .base import ExperimentReport, register
+from .forensic_golden import add_forensic_golden
 
 FULL_SIZES = [64, 128, 256, 512]
 QUICK_SIZES = [64, 128]
@@ -77,5 +78,19 @@ def run(quick: bool = False) -> ExperimentReport:
             row[3] <= 6 * math.log2(max(2, row[1])) * row[5]
             for row in rows[:-1]
         ),
+    )
+
+    add_forensic_golden(
+        report, random_tree(64, seed=5), SelectAndSend,
+        seed=0, engines=("reference", "event"),
+        expected={
+            "slots": 978,
+            "informed": 64,
+            "total_transmissions": 1078,
+            "wasted_slot_fraction": 0.981595,
+            "critical_path_depth": 8,
+            "redundancy_ratio": 17.111111,
+        },
+        label="S&S on random_tree(64, seed=5)",
     )
     return report

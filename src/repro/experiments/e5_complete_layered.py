@@ -14,6 +14,7 @@ from ..core import CompleteLayeredBroadcast
 from ..sim import repeat_broadcast
 from ..topology import km_hard_layered, uniform_complete_layered
 from .base import ExperimentReport, register
+from .forensic_golden import add_forensic_golden
 
 FULL_SHAPE = [
     (256, 8), (256, 32), (256, 96),
@@ -111,5 +112,19 @@ def run(quick: bool = False) -> ExperimentReport:
         "layer-size randomness (the randomized hard case) does not slow the "
         "deterministic algorithm",
         max(row[2] for row in rows3) < 6.0,
+    )
+
+    add_forensic_golden(
+        report, uniform_complete_layered(256, 8), CompleteLayeredBroadcast,
+        seed=0, engines=("reference", "event"),
+        expected={
+            "slots": 233,
+            "informed": 256,
+            "total_transmissions": 832,
+            "wasted_slot_fraction": 0.965665,
+            "critical_path_depth": 8,
+            "redundancy_ratio": 3.262745,
+        },
+        label="Complete-Layered on uniform_complete_layered(256, 8)",
     )
     return report

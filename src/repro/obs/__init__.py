@@ -26,9 +26,20 @@ back into tables; metric names and the event schema are documented in
 ``docs/OBSERVABILITY.md``.
 """
 
+from .forensics import (
+    ForensicsReport,
+    PropagationDAG,
+    SLOT_CLASSES,
+    analyze,
+    build_dag,
+    classify_slot,
+    forensic_span_events,
+    record_forensics_metrics,
+)
 from .metrics import (
     COUNT_BUCKETS,
     Counter,
+    FRACTION_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -69,12 +80,16 @@ __all__ = [
     "COUNT_BUCKETS",
     "Counter",
     "DEFAULT_RUNLOG_DIR",
+    "FRACTION_BUCKETS",
+    "ForensicsReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PropagationDAG",
     "RunLogger",
     "RunlogError",
     "SLOT_BUCKETS",
+    "SLOT_CLASSES",
     "SPAN_KINDS",
     "Span",
     "SpanContext",
@@ -85,14 +100,19 @@ __all__ = [
     "Timings",
     "TraceFormatError",
     "WorkerTelemetry",
+    "analyze",
     "assert_valid_runlog",
+    "build_dag",
+    "classify_slot",
     "default_runlog_path",
     "export_trace_events",
+    "forensic_span_events",
     "git_sha",
     "new_run_id",
     "new_span_id",
     "parse_trace_events",
     "read_runlog",
+    "record_forensics_metrics",
     "span_events",
     "validate_runlog",
     "write_trace",

@@ -1,0 +1,453 @@
+"""Post-hoc broadcast forensics: who informed whom, and what each slot bought.
+
+A :class:`~repro.sim.trace.Trace` recorded at ``TraceLevel.FULL`` contains
+the complete channel history of a run; this module condenses it into three
+views that make an execution *arguable about*:
+
+* the **propagation DAG** — every node's first-delivery parent, its depth,
+  and the critical path from the source to the last-informed node.  This
+  is the witness tree behind every completion time the repo reports: the
+  broadcast took exactly as long as its deepest first-delivery chain.
+* a **slot-attribution taxonomy** — each slot is charged to exactly one
+  class (``productive`` / ``collision-wasted`` / ``redundant`` /
+  ``silent``), with per-node transmission energy and per-slot collision
+  hotspots.  The paper's progress arguments are exactly claims about the
+  density of productive slots, so the taxonomy turns "why is Decay slower
+  than the stage algorithm here?" into a table.
+* **stage attribution** — slots grouped by the algorithm's own schedule
+  structure (Decay probability scales, Kowalski–Pelc stage sweeps,
+  Select-and-Send's startup vs token traversal) via
+  :meth:`~repro.sim.protocol.BroadcastAlgorithm.stage_hint`.
+
+Everything here is a pure function of the recorded trace (plus the
+algorithm object for stage naming): no engine involvement, no randomness,
+no timestamps.  Traces from any of the five engines are bit-identical
+(the conformance suite asserts it), so forensic output is too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import render_table
+from ..sim.trace import Trace, TraceLevel
+from .metrics import FRACTION_BUCKETS, MetricsRegistry, SLOT_BUCKETS
+
+__all__ = [
+    "SLOT_CLASSES",
+    "PropagationDAG",
+    "ForensicsReport",
+    "build_dag",
+    "classify_slot",
+    "analyze",
+    "record_forensics_metrics",
+    "forensic_span_events",
+]
+
+#: The four mutually exclusive slot classes, in precedence order: a slot
+#: with no transmitters is ``silent``; one that woke somebody is
+#: ``productive``; one that only collided somewhere is
+#: ``collision-wasted``; a transmission nobody new heard is ``redundant``.
+SLOT_CLASSES: tuple[str, ...] = (
+    "productive",
+    "collision-wasted",
+    "redundant",
+    "silent",
+)
+
+
+def classify_slot(record) -> str:
+    """Charge one :class:`~repro.sim.trace.StepRecord` to its slot class."""
+    if not record.transmitters:
+        return "silent"
+    if record.woken:
+        return "productive"
+    if record.collisions:
+        return "collision-wasted"
+    return "redundant"
+
+
+@dataclass(frozen=True)
+class PropagationDAG:
+    """First-delivery tree of one run (a DAG with in-degree <= 1: a tree).
+
+    Attributes:
+        root: The initially informed node (wake time ``-1``).
+        parents: ``child -> parent`` over every node woken during the run;
+            the parent is the unique transmitter whose message woke the
+            child (collisions cannot wake, so the parent is well defined).
+        wake_slots: ``node -> wake slot``; ``-1`` for the root.
+        depths: ``node -> hop distance`` from the root along parent edges.
+        children: ``parent -> sorted children`` (inverse of ``parents``).
+        critical_path: Root-to-leaf chain ending at the last-woken node
+            (ties broken toward the lowest label) — the first-delivery
+            chain whose length *is* the broadcast's depth cost.
+    """
+
+    root: int
+    parents: dict[int, int]
+    wake_slots: dict[int, int]
+    depths: dict[int, int]
+    children: dict[int, tuple[int, ...]]
+    critical_path: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        """Maximum hop depth (0 on a single-node network)."""
+        return max(self.depths.values())
+
+    @property
+    def max_branching(self) -> int:
+        """Largest number of children any node woke (0 when no wakes)."""
+        return max((len(c) for c in self.children.values()), default=0)
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "parents": {int(k): int(v) for k, v in sorted(self.parents.items())},
+            "wake_slots": {
+                int(k): int(v) for k, v in sorted(self.wake_slots.items())
+            },
+            "depths": {int(k): int(v) for k, v in sorted(self.depths.items())},
+            "depth": self.depth,
+            "max_branching": self.max_branching,
+            "critical_path": list(self.critical_path),
+        }
+
+
+def build_dag(trace: Trace) -> PropagationDAG:
+    """Derive the propagation DAG from a ``FULL`` trace.
+
+    Raises:
+        ValueError: If the trace is not ``FULL``, has no initially
+            informed root, or has several (forensics assumes single-source
+            broadcast).
+    """
+    trace._require_full("propagation DAG construction")
+    roots = trace.initially_informed()
+    if len(roots) != 1:
+        raise ValueError(
+            f"propagation DAG needs exactly one initially informed node, "
+            f"found {len(roots)} ({list(roots)}); traces recorded before "
+            f"the source marker existed cannot be analyzed"
+        )
+    root = roots[0]
+    parents: dict[int, int] = {}
+    for record in trace.steps:
+        for child in record.woken:
+            sender = record.deliveries.get(child)
+            if sender is None:
+                raise ValueError(
+                    f"malformed trace: node {child} woke in slot "
+                    f"{record.step} without a recorded delivery"
+                )
+            parents[child] = sender
+    wake_slots = {root: -1}
+    wake_slots.update(
+        (v, t) for v, t in trace.wake_times.items() if t >= 0 and v in parents
+    )
+    depths = {root: 0}
+    for node in parents:
+        chain = []
+        cursor = node
+        while cursor not in depths:
+            chain.append(cursor)
+            cursor = parents[cursor]
+        base = depths[cursor]
+        for offset, link in enumerate(reversed(chain), start=1):
+            depths[link] = base + offset
+    children: dict[int, list[int]] = {}
+    for child, parent in parents.items():
+        children.setdefault(parent, []).append(child)
+    last = root
+    if parents:
+        last_slot = max(wake_slots[v] for v in parents)
+        last = min(v for v in parents if wake_slots[v] == last_slot)
+    path = [last]
+    while path[-1] != root:
+        path.append(parents[path[-1]])
+    return PropagationDAG(
+        root=root,
+        parents=parents,
+        wake_slots=wake_slots,
+        depths=depths,
+        children={k: tuple(sorted(v)) for k, v in sorted(children.items())},
+        critical_path=tuple(reversed(path)),
+    )
+
+
+@dataclass
+class ForensicsReport:
+    """Everything :func:`analyze` derived from one run's trace."""
+
+    algorithm: str | None
+    slots: int
+    informed: int
+    dag: PropagationDAG
+    #: Per-slot class labels, index = slot (length :attr:`slots`).
+    slot_labels: tuple[str, ...]
+    #: Class -> slot count, every class present (possibly 0).
+    slot_classes: dict[str, int]
+    #: Node -> total transmissions (energy); only nodes that transmitted.
+    energy: dict[int, int]
+    #: ``(slot, colliding receivers)`` pairs, heaviest first (max 5).
+    hotspots: tuple[tuple[int, int], ...]
+    #: Stage name -> {slots, transmissions, collisions, wakes}, in first-
+    #: occurrence order; empty when the algorithm names no stages.
+    stages: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Per-slot stage names (``None`` where the algorithm named none);
+    #: length :attr:`slots` when stages exist, else empty.
+    stage_labels: tuple[str | None, ...] = ()
+
+    # -- summary scalars ---------------------------------------------------
+
+    @property
+    def total_transmissions(self) -> int:
+        return sum(self.energy.values())
+
+    @property
+    def wasted_slot_fraction(self) -> float:
+        """Fraction of slots that were not productive (1.0 when 0 slots)."""
+        if not self.slots:
+            return 0.0
+        return 1.0 - self.slot_classes["productive"] / self.slots
+
+    @property
+    def critical_path_depth(self) -> int:
+        return self.dag.depth
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Transmissions spent per node actually woken (energy efficiency)."""
+        return self.total_transmissions / max(1, len(self.dag.parents))
+
+    def scalars(self) -> dict:
+        """The pinned summary scalars (golden-tested in E1/E4/E5)."""
+        return {
+            "slots": self.slots,
+            "informed": self.informed,
+            "total_transmissions": self.total_transmissions,
+            "wasted_slot_fraction": round(self.wasted_slot_fraction, 6),
+            "critical_path_depth": self.critical_path_depth,
+            "redundancy_ratio": round(self.redundancy_ratio, 6),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "scalars": self.scalars(),
+            "slot_classes": dict(self.slot_classes),
+            "dag": self.dag.to_dict(),
+            "energy": {int(k): int(v) for k, v in sorted(self.energy.items())},
+            "hotspots": [list(pair) for pair in self.hotspots],
+            "stages": {k: dict(v) for k, v in self.stages.items()},
+        }
+
+    def render(self) -> str:
+        """Aligned-table walkthrough (what ``repro explain`` prints)."""
+        scalars = self.scalars()
+        header = (
+            f"forensics: {self.algorithm or '<unknown algorithm>'} — "
+            f"{self.slots} slots, {self.informed} informed"
+        )
+        blocks = [header]
+        blocks.append(render_table(
+            ["class", "slots", "fraction"],
+            [
+                [name, count, count / self.slots if self.slots else 0.0]
+                for name, count in self.slot_classes.items()
+            ],
+            title="slot attribution",
+        ))
+        path = self.dag.critical_path
+        shown = " -> ".join(str(v) for v in path) if len(path) <= 12 else (
+            " -> ".join(str(v) for v in path[:6])
+            + f" -> ... -> {path[-1]} ({len(path)} nodes)"
+        )
+        blocks.append(render_table(
+            ["metric", "value"],
+            [
+                ["critical_path_depth", scalars["critical_path_depth"]],
+                ["max_branching", self.dag.max_branching],
+                ["wasted_slot_fraction", scalars["wasted_slot_fraction"]],
+                ["redundancy_ratio", scalars["redundancy_ratio"]],
+                ["total_transmissions", scalars["total_transmissions"]],
+            ],
+            title="propagation",
+        ) + f"\ncritical path: {shown}")
+        if self.stages:
+            blocks.append(render_table(
+                ["stage", "slots", "tx", "collisions", "wakes"],
+                [
+                    [name, s["slots"], s["transmissions"], s["collisions"], s["wakes"]]
+                    for name, s in self.stages.items()
+                ],
+                title="stage attribution",
+            ))
+        if self.hotspots:
+            blocks.append(render_table(
+                ["slot", "colliding receivers"],
+                [list(pair) for pair in self.hotspots],
+                title="collision hotspots",
+            ))
+        top = sorted(self.energy.items(), key=lambda kv: (-kv[1], kv[0]))[:8]
+        if top:
+            blocks.append(render_table(
+                ["node", "transmissions"],
+                [[node, count] for node, count in top],
+                title="energy (top transmitters)",
+            ))
+        return "\n\n".join(blocks)
+
+
+def analyze(run, algorithm=None) -> ForensicsReport:
+    """Build a :class:`ForensicsReport` from a run or a bare trace.
+
+    Args:
+        run: A :class:`~repro.sim.run.BroadcastResult` (its ``.trace`` is
+            used) or a :class:`~repro.sim.trace.Trace`; must be recorded
+            at ``TraceLevel.FULL``.
+        algorithm: Optional algorithm *object*; when given (or when the
+            result carries one), its
+            :meth:`~repro.sim.protocol.BroadcastAlgorithm.stage_hint`
+            names the stage each slot is charged to.
+    """
+    trace = getattr(run, "trace", run)
+    if not isinstance(trace, Trace):
+        raise TypeError(f"expected a BroadcastResult or Trace, got {run!r}")
+    trace._require_full("forensic analysis")
+    name = getattr(algorithm, "name", None) or getattr(run, "algorithm", None)
+    dag = build_dag(trace)
+    slot_labels = tuple(classify_slot(record) for record in trace.steps)
+    slot_classes = {cls: 0 for cls in SLOT_CLASSES}
+    for label in slot_labels:
+        slot_classes[label] += 1
+    energy: dict[int, int] = {}
+    collision_counts: list[tuple[int, int]] = []
+    for record in trace.steps:
+        for v in record.transmitters:
+            energy[v] = energy.get(v, 0) + 1
+        if record.collisions:
+            collision_counts.append((record.step, len(record.collisions)))
+    collision_counts.sort(key=lambda pair: (-pair[1], pair[0]))
+    stages: dict[str, dict[str, int]] = {}
+    stage_labels: list[str | None] = []
+    hint = getattr(algorithm, "stage_hint", None)
+    if hint is not None:
+        for record in trace.steps:
+            stage = hint(record.step, trace)
+            stage_labels.append(stage)
+            if stage is None:
+                continue
+            bucket = stages.setdefault(
+                stage,
+                {"slots": 0, "transmissions": 0, "collisions": 0, "wakes": 0},
+            )
+            bucket["slots"] += 1
+            bucket["transmissions"] += len(record.transmitters)
+            bucket["collisions"] += len(record.collisions)
+            bucket["wakes"] += len(record.woken)
+    return ForensicsReport(
+        algorithm=name,
+        slots=len(trace.steps),
+        informed=len(trace.wake_times),
+        dag=dag,
+        slot_labels=slot_labels,
+        slot_classes=slot_classes,
+        energy=dict(sorted(energy.items())),
+        hotspots=tuple(collision_counts[:5]),
+        stages=stages,
+        stage_labels=tuple(stage_labels) if stages else (),
+    )
+
+
+def record_forensics_metrics(registry: MetricsRegistry, report: ForensicsReport) -> None:
+    """Fold one report's summary scalars into a metrics registry.
+
+    One observation per run: sweeps calling this per trial get mergeable
+    distributions of the forensic scalars alongside the engine metrics.
+    """
+    registry.histogram(
+        "forensics_wasted_slot_fraction", FRACTION_BUCKETS
+    ).observe(report.wasted_slot_fraction)
+    registry.histogram(
+        "forensics_critical_path_depth", SLOT_BUCKETS
+    ).observe(report.critical_path_depth)
+    registry.histogram(
+        "forensics_redundancy_ratio", FRACTION_BUCKETS + (2.0, 5.0, 10.0, 100.0)
+    ).observe(report.redundancy_ratio)
+    for name, count in report.slot_classes.items():
+        registry.counter(f"forensics_slots_{name.replace('-', '_')}").inc(count)
+
+
+def forensic_span_events(report: ForensicsReport) -> list[dict]:
+    """Synthesize runlog-style span events from a report.
+
+    The result feeds :func:`repro.obs.spans.write_trace` /
+    :func:`~repro.obs.spans.export_trace_events` unchanged: one ``trial``
+    span for the whole run on the lifecycle lane, plus ``stage`` spans —
+    which the exporter gives one lane per distinct name — for contiguous
+    slot-class runs (``slots.<class>``), DAG depth waves
+    (``dag.depth[k]``), and algorithm stages (``stage.<name>``).
+    Timestamps are in *slot* units; span ids are deterministic, so the
+    export is byte-stable across engines and runs.
+    """
+    counter = 0
+
+    def next_id() -> str:
+        nonlocal counter
+        counter += 1
+        return f"fx{counter:06d}"
+
+    root_id = next_id()
+    events: list[dict] = [{
+        "event": "span",
+        "span_id": root_id,
+        "parent_id": None,
+        "trace_id": root_id,
+        "name": f"run[{report.algorithm or 'unknown'}]",
+        "kind": "trial",
+        "start_ts": 0.0,
+        "end_ts": float(max(1, report.slots)),
+        "pid": 0,
+        "attrs": dict(report.scalars()),
+    }]
+
+    def add(name: str, start: int, end: int, **attrs) -> None:
+        events.append({
+            "event": "span",
+            "span_id": next_id(),
+            "parent_id": root_id,
+            "trace_id": root_id,
+            "name": name,
+            "kind": "stage",
+            "start_ts": float(start),
+            "end_ts": float(end),
+            "pid": 0,
+            "attrs": attrs,
+        })
+
+    def add_runs(labels, prefix: str) -> None:
+        start = 0
+        current = None  # unnamed (None) runs produce no span
+        for slot, label in enumerate(labels):
+            if label != current:
+                if current is not None:
+                    add(f"{prefix}{current}", start, slot)
+                start, current = slot, label
+        if current is not None:
+            add(f"{prefix}{current}", start, len(labels))
+
+    add_runs(report.slot_labels, "slots.")
+    by_depth: dict[int, list[int]] = {}
+    for node, depth in report.dag.depths.items():
+        if depth > 0:
+            by_depth.setdefault(depth, []).append(report.dag.wake_slots[node])
+    for depth in sorted(by_depth):
+        slots = by_depth[depth]
+        add(
+            f"dag.depth[{depth}]", min(slots), max(slots) + 1,
+            nodes=len(slots),
+        )
+    add_runs(report.stage_labels, "stage.")
+    return events

@@ -23,6 +23,7 @@ import numpy as np
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
+    "FRACTION_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -35,6 +36,11 @@ SLOT_BUCKETS: tuple[int, ...] = tuple(2**i for i in range(18))
 #: Edges for small event counts (transmissions per node, collisions per
 #: slot): zero gets its own bucket, then powers of two up to 1024.
 COUNT_BUCKETS: tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Decile edges for ratios in ``[0, 1]`` (e.g. the wasted-slot fraction
+#: of a forensics report); values are exact at the edges, so 0.0 and 1.0
+#: land in their own buckets.
+FRACTION_BUCKETS: tuple[float, ...] = tuple(i / 10 for i in range(11))
 
 
 class Counter:

@@ -26,6 +26,7 @@ __all__ = [
     "batched_adaptive_workload",
     "batched_workload",
     "default_registry",
+    "forensics_overhead_workload",
     "obs_overhead_workload",
     "telemetry_overhead_workload",
 ]
@@ -132,6 +133,37 @@ def telemetry_overhead_workload(quick: bool = False):
     return plain, telemetered
 
 
+def forensics_overhead_workload(quick: bool = False):
+    """Thunk pair ``(plain, forensic)`` for the forensics cost gate.
+
+    ``plain`` is the canonical batched workload with traces off — the
+    path that must stay untouched by the trace-recording branches added
+    to the fast engines (one attribute check per slot).  ``forensic`` is
+    the same batch at ``TraceLevel.FULL`` *plus* a full
+    :func:`~repro.obs.forensics.analyze` pass per trial — the end-to-end
+    cost of asking "why" instead of "how long".  Shared with
+    ``benchmarks/test_forensics_overhead.py`` so the committed
+    ``BENCH_forensics_overhead`` baseline measures the same thing.
+    """
+    from ..sim import run_broadcast_batch
+    from ..sim.trace import TraceLevel
+    from .forensics import analyze
+
+    net, algorithm, trials = batched_workload(quick)
+
+    def plain():
+        return run_broadcast_batch(net, algorithm, trials=trials, engine="auto")
+
+    def forensic():
+        results = run_broadcast_batch(
+            net, algorithm, trials=trials, engine="auto",
+            trace_level=TraceLevel.FULL,
+        )
+        return [analyze(result, algorithm=algorithm) for result in results]
+
+    return plain, forensic
+
+
 @register(
     "reference_engine",
     tags=("engine", "reference"),
@@ -234,6 +266,20 @@ def _obs_overhead(quick: bool):
 def _telemetry_overhead(quick: bool):
     _, telemetered = telemetry_overhead_workload(quick)
     return telemetered
+
+
+@register(
+    "forensics_overhead",
+    tags=("engine", "batch", "obs", "forensics"),
+    # FULL tracing + per-trial DAG/taxonomy analysis is a per-slot python
+    # loop by design (debug tooling, not a hot path); the bar that
+    # matters — the traces-off path staying flat — is the pytest gate.
+    tolerance=1.4,
+    description="Batched run at TraceLevel.FULL + per-trial forensic analysis",
+)
+def _forensics_overhead(quick: bool):
+    _, forensic = forensics_overhead_workload(quick)
+    return forensic
 
 
 @register(

@@ -87,6 +87,7 @@ class SynchronousEngine:
         self.algorithm = algorithm
         self.seed = seed
         self.trace = Trace(level=trace_level)
+        self.trace.mark_initially_informed(network.source)
         self.step_hook = step_hook
         self.collision_detection = collision_detection
         self.step = 0

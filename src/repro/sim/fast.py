@@ -133,6 +133,11 @@ class FastEngine:
         timings: Optional :class:`~repro.obs.timings.Timings` accumulating
             the stages ``engine.coins``, ``engine.channel``,
             ``engine.faults`` (⊂ channel), and ``engine.step``.
+        trace_level: Channel detail to record into :attr:`trace` —
+            identical records to the reference engine's (transmitters,
+            deliveries, collisions, woken; asserted by the conformance
+            suite).  ``NONE`` (the default) records nothing and adds no
+            per-slot work beyond one attribute check.
     """
 
     def __init__(
@@ -143,6 +148,7 @@ class FastEngine:
         faults: FaultPlan | None = None,
         metrics: MetricsRegistry | None = None,
         timings: Timings | None = None,
+        trace_level: TraceLevel = TraceLevel.NONE,
     ):
         _check_vectorized(algorithm)
         self.network = network
@@ -153,6 +159,16 @@ class FastEngine:
         self._index = kernel.index
         self.adjacency = kernel.adjacency
         self.coins = CoinSource.for_run(seed, self.labels)
+        self.trace = Trace(level=trace_level)
+        self.trace.mark_initially_informed(network.source)
+        self._tracing = trace_level is not TraceLevel.NONE
+        self._trace_full = trace_level is TraceLevel.FULL
+        # Sender identification for FULL traces: at a receiver with
+        # exactly one transmitting in-neighbour, the weighted hit count
+        # (weight index + 1) *is* that sender's index + 1.
+        self._weights = (
+            np.arange(network.n, dtype=np.int64) + 1 if self._trace_full else None
+        )
         self.wake_steps = np.full(network.n, ASLEEP, dtype=np.int64)
         self.wake_steps[self._index[network.source]] = -1
         # Hot-loop scratch buffers: the per-slot int32 transmit vector and
@@ -181,6 +197,7 @@ class FastEngine:
                 [derive_fault_seed(faults.seed, seed)],
             )
             self.fault_counters = FaultCounters()
+            self.trace.fault_counters = self.fault_counters
         # Stateful schedules (e.g. Decay's per-phase activity mask) get a
         # fresh-run notification so algorithm objects can be reused.
         reset = getattr(algorithm, "reset_run", None)
@@ -234,11 +251,13 @@ class FastEngine:
         if alive is not None:
             mask &= alive  # crashed nodes are silent forever
         n_coll = 0
+        newly = rec_deliver = trace_hits = None
         if mask.any():
             mask_i32 = self._mask_i32
             mask_i32[:] = mask  # in-place bool -> int32 cast, no allocation
             hits = mask_i32 @ self.adjacency
             hits = np.asarray(hits).ravel()
+            trace_hits = hits
             if self.metrics is not None:
                 coll = np.greater_equal(hits, 2, out=self._coll_buf)
                 coll &= np.logical_not(mask, out=self._not_tx_buf)
@@ -247,6 +266,8 @@ class FastEngine:
                 # Exactly-one rule; transmitters cannot receive (half-duplex)
                 # but they are already informed, so only sleepers matter.
                 newly = (~awake) & (hits == 1)
+                if self._trace_full:
+                    rec_deliver = (hits == 1) & ~mask
             else:
                 # Fault pipeline, identical to the reference engine:
                 # crash -> jam -> loss -> wake-delay.
@@ -270,6 +291,10 @@ class FastEngine:
                     newly = sleeping & ~delayed
                 else:
                     newly = sleeping
+                if self._trace_full:
+                    # Awake receivers hear too (already informed, never
+                    # deaf); sleepers only count if they actually woke.
+                    rec_deliver = (delivered & awake) | newly
                 if timings is not None:
                     timings.add("engine.faults", perf_counter() - t_faults)
             self.wake_steps[newly] = step
@@ -282,8 +307,42 @@ class FastEngine:
             self._tx_counter.inc(int(mask.sum()))
             self._tx_counts += mask
             self._collision_hist.observe(n_coll)
+        if self._tracing:
+            self._record_step(step, mask, trace_hits, alive, rec_deliver, newly)
         self.step += 1
         return mask
+
+    def _record_step(self, step, mask, hits, alive, rec_deliver, newly) -> None:
+        """Append slot ``step`` to :attr:`trace` (reference-identical)."""
+        labels = self.labels
+        transmitters: tuple[int, ...] = ()
+        deliveries: dict[int, int] = {}
+        collisions: tuple[int, ...] = ()
+        woken: tuple[int, ...] = ()
+        if hits is not None:  # someone transmitted this slot
+            transmitters = tuple(int(v) for v in labels[mask])
+            woken = tuple(int(v) for v in labels[newly])
+            if self._trace_full:
+                colls = (hits >= 2) & ~mask
+                if alive is not None:
+                    colls &= alive
+                collisions = tuple(int(v) for v in labels[colls])
+                if rec_deliver.any():
+                    senders = np.asarray(
+                        (mask * self._weights) @ self.adjacency
+                    ).ravel()
+                    deliveries = {
+                        int(labels[i]): int(labels[senders[i] - 1])
+                        for i in np.flatnonzero(rec_deliver)
+                    }
+        self.trace.record(
+            step=step,
+            transmitters=transmitters,
+            deliveries=deliveries,
+            collisions=collisions,
+            woken=woken,
+            informed=self.informed_count,
+        )
 
     def run(self, max_steps: int, stop_when_informed: bool = True) -> int:
         """Run until completion or the step limit; returns slots executed."""
@@ -343,6 +402,10 @@ class BatchedFastEngine:
             single-run engines would have recorded in aggregate.
         timings: Optional :class:`~repro.obs.timings.Timings`, shared by
             the whole batch (stage costs are joint across trials).
+        trace_level: Per-trial channel traces with the single-run
+            engines' exact records (a settled trial stops recording, like
+            the run it reproduces stops executing); retrieve with
+            :meth:`trace_for`.  ``NONE`` (the default) records nothing.
     """
 
     def __init__(
@@ -353,6 +416,7 @@ class BatchedFastEngine:
         faults: FaultPlan | None = None,
         metrics: MetricsRegistry | None = None,
         timings: Timings | None = None,
+        trace_level: TraceLevel = TraceLevel.NONE,
     ):
         _check_vectorized(algorithm)
         if len(seeds) < 1:
@@ -368,6 +432,17 @@ class BatchedFastEngine:
         # its fast CSR path for every trial count.
         self._adjacency_t = kernel.adjacency_t
         self.coins = CoinSource.for_batch(self.seeds, self.labels)
+        self._traces: list[Trace] | None = None
+        self._trace_full = trace_level is TraceLevel.FULL
+        self._trace_weights: np.ndarray | None = None
+        if trace_level is not TraceLevel.NONE:
+            self._traces = []
+            for _ in range(self.trials):
+                trace = Trace(level=trace_level)
+                trace.mark_initially_informed(network.source)
+                self._traces.append(trace)
+            if self._trace_full:
+                self._trace_weights = np.arange(network.n, dtype=np.int64) + 1
         self.wake_steps = np.full((self.trials, network.n), ASLEEP, dtype=np.int64)
         self.wake_steps[:, self._index[network.source]] = -1
         # Hot-loop scratch buffers (see FastEngine): per-slot int32
@@ -481,6 +556,11 @@ class BatchedFastEngine:
             # fault plan "settled" is just "all awake", which the local
             # ``awake`` already holds — don't recompute the (T, n) mask.
             m_active = active if active is not None else ~awake.all(axis=1)
+        rec_active = None
+        if self._traces is not None:
+            # Trace parity with the single-run engines: a settled trial's
+            # run has already stopped, so it records no further slots.
+            rec_active = active if active is not None else ~awake.all(axis=1)
         mask = self.algorithm.transmit_mask(
             step, self.labels, self.wake_steps, self.network.r, self.coins
         )
@@ -491,7 +571,9 @@ class BatchedFastEngine:
         if alive is not None:
             mask = mask & alive  # crashed nodes are silent forever
         collisions = None
-        if mask.any():
+        newly = rec_deliver = trace_colls = sender_sums = None
+        any_tx = bool(mask.any())
+        if any_tx:
             mask_i32 = self._mask_i32
             mask_i32[:] = mask.T  # in-place bool -> int32 cast, no allocation
             hits = (self._adjacency_t @ mask_i32).T
@@ -499,8 +581,17 @@ class BatchedFastEngine:
                 coll = np.greater_equal(hits, 2, out=self._coll_buf)
                 coll &= np.logical_not(mask, out=self._not_tx_buf)
                 collisions = coll.sum(axis=1)
+            if self._trace_full:
+                trace_colls = (hits >= 2) & ~mask
+                if alive is not None:
+                    trace_colls = trace_colls & alive
+                sender_sums = (
+                    self._adjacency_t @ (mask * self._trace_weights).T
+                ).T
             if cf is None:
                 newly = (~awake) & (hits == 1)
+                if self._trace_full:
+                    rec_deliver = (hits == 1) & ~mask
             else:
                 # Fault pipeline, identical to FastEngine per trial row:
                 # crash -> jam -> loss -> wake-delay.
@@ -524,6 +615,10 @@ class BatchedFastEngine:
                     newly = sleeping & ~delayed
                 else:
                     newly = sleeping
+                if self._trace_full:
+                    # Awake receivers hear too (already informed, never
+                    # deaf); sleepers only count if they actually woke.
+                    rec_deliver = (delivered & awake) | newly
                 if timings is not None:
                     timings.add("engine.faults", perf_counter() - t_faults)
             self.wake_steps[newly] = step
@@ -546,8 +641,55 @@ class BatchedFastEngine:
                 self._collision_zero_trials += n_active
             elif n_active:
                 self._collision_chunks.append(collisions[m_active])
+        if rec_active is not None:
+            self._record_batch_step(
+                step, mask if any_tx else None,
+                rec_deliver, trace_colls, sender_sums, newly, rec_active,
+            )
         self.step += 1
         return mask
+
+    def _record_batch_step(
+        self, step, mask, rec_deliver, trace_colls, sender_sums, newly, rec_active
+    ) -> None:
+        """Append slot ``step`` to every still-active trial's trace."""
+        labels = self.labels
+        counts = self.awake.sum(axis=1)
+        full = self._trace_full
+        for t in np.flatnonzero(rec_active):
+            trace = self._traces[t]
+            if mask is None:  # globally silent slot
+                trace.record(
+                    step=step, transmitters=(), deliveries={},
+                    collisions=(), woken=(), informed=int(counts[t]),
+                )
+                continue
+            deliveries: dict[int, int] = {}
+            collisions: tuple[int, ...] = ()
+            if full:
+                row = sender_sums[t]
+                deliveries = {
+                    int(labels[i]): int(labels[row[i] - 1])
+                    for i in np.flatnonzero(rec_deliver[t])
+                }
+                collisions = tuple(int(v) for v in labels[trace_colls[t]])
+            trace.record(
+                step=step,
+                transmitters=tuple(int(v) for v in labels[mask[t]]),
+                deliveries=deliveries,
+                collisions=collisions,
+                woken=tuple(int(v) for v in labels[newly[t]]),
+                informed=int(counts[t]),
+            )
+
+    def trace_for(self, trial: int) -> Trace:
+        """Per-trial channel trace (an empty ``NONE`` trace when untraced)."""
+        if self._traces is None:
+            return Trace(level=TraceLevel.NONE)
+        trace = self._traces[trial]
+        if self._cf is not None:
+            trace.fault_counters = self.fault_counters_for(trial)
+        return trace
 
     def flush_metrics(self) -> None:
         """Flush buffered collision observations into the histogram.
@@ -645,6 +787,7 @@ def run_broadcast_fast(
     metrics: MetricsRegistry | None = None,
     timings: Timings | None = None,
     spans: SpanRecorder | None = None,
+    trace_level: TraceLevel = TraceLevel.NONE,
 ) -> BroadcastResult:
     """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
     if max_steps is None:
@@ -653,7 +796,7 @@ def run_broadcast_fast(
         timings = Timings()
     engine = FastEngine(
         network, algorithm, seed=seed, faults=faults,
-        metrics=metrics, timings=timings,
+        metrics=metrics, timings=timings, trace_level=trace_level,
     )
     with (
         spans.trial_span(
@@ -677,7 +820,7 @@ def run_broadcast_fast(
         seed=seed,
         wake_times=wake_times,
         layer_times=_layer_times(network, wake_times),
-        trace=Trace(level=TraceLevel.NONE),
+        trace=engine.trace,
         fault_counters=(
             engine.fault_counters.snapshot()
             if engine.fault_counters is not None
@@ -751,8 +894,9 @@ def run_broadcast_batch(
         spans: Optional :class:`~repro.obs.spans.SpanRecorder`; the whole
             batch records as one ``trial`` span (stage costs are joint).
         engine: ``"auto"``, ``"batched_fast"``, or ``"batched_event"``.
-        trace_level: Per-trial channel traces (``batched_event`` only —
-            the array engine records none).
+        trace_level: Per-trial channel traces — supported by *both* batch
+            engines, with identical records (asserted by the conformance
+            suite).
         collision_detection: CD model variant (``batched_event`` only).
         step_hooks: Optional per-trial step hooks (``batched_event``
             only), one entry per trial.
@@ -797,18 +941,14 @@ def run_broadcast_batch(
             f"unknown engine {engine!r}; expected 'auto', 'batched_fast', "
             f"or 'batched_event'"
         )
-    if (
-        trace_level is not TraceLevel.NONE
-        or collision_detection
-        or step_hooks is not None
-    ):
+    if collision_detection or step_hooks is not None:
         raise ConfigurationError(
-            "traces, collision detection, and step hooks require "
-            "engine='batched_event' (the array engine records none)"
+            "collision detection and step hooks require "
+            "engine='batched_event' (the array engine supports neither)"
         )
     engine = BatchedFastEngine(
         network, algorithm, seeds, faults=faults,
-        metrics=metrics, timings=timings,
+        metrics=metrics, timings=timings, trace_level=trace_level,
     )
     with batch_span:
         engine.run(max_steps)
@@ -828,7 +968,7 @@ def run_broadcast_batch(
             seed=seed,
             wake_times=wake_times,
             layer_times=_layer_times(network, wake_times),
-            trace=Trace(level=TraceLevel.NONE),
+            trace=engine.trace_for(t),
             fault_counters=engine.fault_counters_for(t),
             timings=timings,
         )

@@ -62,6 +62,23 @@ class Trace:
     #: current, regardless of the trace level.
     fault_counters: "object | None" = None
 
+    def mark_initially_informed(self, label: int) -> None:
+        """Record a node that holds the message before the execution starts.
+
+        Engines call this for the source: its wake time is ``-1``, one
+        slot before slot 0, matching the convention of
+        ``SynchronousEngine.wake_times``.  With the marker in place every
+        propagation DAG has a root — including the degenerate single-node
+        network, whose trace otherwise records no wakes at all.
+        """
+        if self.level is TraceLevel.NONE:
+            return
+        self.wake_times[label] = -1
+
+    def initially_informed(self) -> tuple[int, ...]:
+        """Labels informed before slot 0 (wake time ``< 0``), sorted."""
+        return tuple(sorted(v for v, t in self.wake_times.items() if t < 0))
+
     def record(
         self,
         step: int,
@@ -88,22 +105,50 @@ class Trace:
                 )
             )
 
+    def _require_full(self, what: str) -> None:
+        if self.level is not TraceLevel.FULL:
+            raise ValueError(
+                f"{what} requires TraceLevel.FULL; this trace was recorded "
+                f"at TraceLevel.{self.level.name} — rerun with "
+                f"trace_level=TraceLevel.FULL"
+            )
+
     def total_transmissions(self) -> int:
         """Total number of (node, slot) transmissions — an energy proxy."""
-        if self.level is not TraceLevel.FULL:
-            raise ValueError("transmission counting requires TraceLevel.FULL")
+        self._require_full("transmission counting")
         return sum(len(record.transmitters) for record in self.steps)
 
     def total_collisions(self) -> int:
         """Total number of (receiver, slot) collision events."""
-        if self.level is not TraceLevel.FULL:
-            raise ValueError("collision counting requires TraceLevel.FULL")
+        self._require_full("collision counting")
         return sum(len(record.collisions) for record in self.steps)
+
+    def summary(self) -> dict:
+        """Informed-curve statistics available from ``PROGRESS`` level up.
+
+        Unlike the ``total_*`` / :meth:`format_timeline` views this never
+        needs per-slot channel detail: it reads only ``informed_counts``
+        and ``wake_times``, which ``PROGRESS`` already records.
+        """
+        if self.level is TraceLevel.NONE:
+            raise ValueError(
+                "trace summaries require at least TraceLevel.PROGRESS; "
+                "this trace was recorded at TraceLevel.NONE"
+            )
+        counts = self.informed_counts
+        wakes = [t for t in self.wake_times.values() if t >= 0]
+        return {
+            "level": self.level.name,
+            "slots": len(counts),
+            "informed_final": counts[-1] if counts else len(self.wake_times),
+            "first_wake_slot": min(wakes) if wakes else None,
+            "last_wake_slot": max(wakes) if wakes else None,
+            "initially_informed": self.initially_informed(),
+        }
 
     def format_timeline(self, max_steps: int | None = None) -> str:
         """Human-readable per-step timeline (used by examples)."""
-        if self.level is not TraceLevel.FULL:
-            raise ValueError("timeline formatting requires TraceLevel.FULL")
+        self._require_full("timeline formatting")
         lines = []
         for record in self.steps[:max_steps]:
             parts = [f"step {record.step:>5}: tx={list(record.transmitters)}"]

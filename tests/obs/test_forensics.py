@@ -1,0 +1,239 @@
+"""Forensics: propagation DAGs, slot attribution, stage tables, exports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BGIBroadcast, RoundRobinBroadcast
+from repro.core import KnownRadiusKP, SelectAndSend
+from repro.obs import MetricsRegistry
+from repro.obs.forensics import (
+    SLOT_CLASSES,
+    analyze,
+    build_dag,
+    classify_slot,
+    forensic_span_events,
+    record_forensics_metrics,
+)
+from repro.obs.spans import parse_trace_events, write_trace
+from repro.sim import run_broadcast
+from repro.sim.trace import StepRecord, Trace, TraceLevel
+from repro.topology import gnp_connected, km_hard_layered, path, random_tree, star
+
+
+def _record(step, tx=(), deliveries=None, collisions=(), woken=()):
+    return StepRecord(
+        step=step, transmitters=tuple(tx), deliveries=dict(deliveries or {}),
+        collisions=tuple(collisions), woken=tuple(woken),
+    )
+
+
+class TestClassification:
+    def test_precedence(self):
+        assert classify_slot(_record(0)) == "silent"
+        assert classify_slot(
+            _record(0, tx=(0,), deliveries={1: 0}, woken=(1,))
+        ) == "productive"
+        # A slot that wakes somebody is productive even if it also
+        # collided elsewhere.
+        assert classify_slot(
+            _record(0, tx=(0, 2), deliveries={1: 0}, collisions=(3,), woken=(1,))
+        ) == "productive"
+        assert classify_slot(
+            _record(0, tx=(0, 2), collisions=(3,))
+        ) == "collision-wasted"
+        assert classify_slot(
+            _record(0, tx=(0,), deliveries={1: 0})
+        ) == "redundant"
+
+
+class TestBuildDag:
+    def _trace(self):
+        trace = Trace(level=TraceLevel.FULL)
+        trace.mark_initially_informed(0)
+        trace.record(0, (0,), {1: 0, 2: 0}, (), (1, 2), informed=3)
+        trace.record(1, (1, 2), {}, (3,), (), informed=3)
+        trace.record(2, (2,), {3: 2}, (), (3,), informed=4)
+        return trace
+
+    def test_parents_and_depths(self):
+        dag = build_dag(self._trace())
+        assert dag.root == 0
+        assert dag.parents == {1: 0, 2: 0, 3: 2}
+        assert dag.depths == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert dag.children == {0: (1, 2), 2: (3,)}
+        assert dag.depth == 2
+        assert dag.max_branching == 2
+        assert dag.critical_path == (0, 2, 3)
+
+    def test_critical_path_tie_breaks_to_lowest_label(self):
+        trace = Trace(level=TraceLevel.FULL)
+        trace.mark_initially_informed(0)
+        trace.record(0, (0,), {5: 0, 3: 0}, (), (3, 5), informed=3)
+        dag = build_dag(trace)
+        assert dag.critical_path == (0, 3)
+
+    def test_requires_full(self):
+        trace = Trace(level=TraceLevel.PROGRESS)
+        trace.mark_initially_informed(0)
+        with pytest.raises(ValueError, match="TraceLevel.FULL"):
+            build_dag(trace)
+
+    def test_requires_single_root(self):
+        trace = Trace(level=TraceLevel.FULL)
+        with pytest.raises(ValueError, match="exactly one initially informed"):
+            build_dag(trace)
+        trace.mark_initially_informed(0)
+        trace.mark_initially_informed(1)
+        with pytest.raises(ValueError, match="exactly one initially informed"):
+            build_dag(trace)
+
+
+class TestAnalyze:
+    def test_scalars_on_a_path(self):
+        net = path(6)
+        result = run_broadcast(
+            net, RoundRobinBroadcast(net.r), trace_level=TraceLevel.FULL
+        )
+        report = analyze(result, algorithm=RoundRobinBroadcast(net.r))
+        assert report.informed == 6
+        assert report.critical_path_depth == 5
+        assert report.dag.critical_path == (0, 1, 2, 3, 4, 5)
+        assert sum(report.slot_classes.values()) == report.slots
+        assert set(report.slot_classes) == set(SLOT_CLASSES)
+        assert report.total_transmissions == sum(report.energy.values())
+        assert 0.0 <= report.wasted_slot_fraction <= 1.0
+
+    def test_single_node_network_is_degenerate_but_valid(self):
+        net = path(1)
+        result = run_broadcast(
+            net, RoundRobinBroadcast(net.r), trace_level=TraceLevel.FULL
+        )
+        report = analyze(result)
+        assert report.slots == 0
+        assert report.dag.critical_path == (0,)
+        assert report.critical_path_depth == 0
+        assert report.wasted_slot_fraction == 0.0
+        assert report.redundancy_ratio == 0.0
+
+    def test_stage_attribution_covers_all_slots_for_token_algorithm(self):
+        net = random_tree(16, seed=2)
+        algo = SelectAndSend()
+        result = run_broadcast(net, algo, trace_level=TraceLevel.FULL)
+        report = analyze(result, algorithm=algo)
+        assert list(report.stages) == ["startup", "dfs-traversal"]
+        assert sum(s["slots"] for s in report.stages.values()) == report.slots
+        assert len(report.stage_labels) == report.slots
+
+    def test_requires_full_trace(self):
+        net = path(4)
+        result = run_broadcast(
+            net, RoundRobinBroadcast(net.r), trace_level=TraceLevel.PROGRESS
+        )
+        with pytest.raises(ValueError, match="requires TraceLevel.FULL"):
+            analyze(result)
+
+    def test_render_and_to_dict_are_stable(self):
+        net = km_hard_layered(32, 4, seed=7)
+        algo = KnownRadiusKP(net.r, 4)
+        result = run_broadcast(net, algo, seed=2, trace_level=TraceLevel.FULL)
+        report = analyze(result, algorithm=algo)
+        text = report.render()
+        assert "slot attribution" in text
+        assert "critical path:" in text
+        assert "stage attribution" in text
+        payload = report.to_dict()
+        assert payload["scalars"]["critical_path_depth"] == report.dag.depth
+        assert payload["dag"]["root"] == 0
+
+
+class TestMetricsAndExport:
+    def test_record_forensics_metrics(self):
+        net = star(8)
+        result = run_broadcast(
+            net, RoundRobinBroadcast(net.r), trace_level=TraceLevel.FULL
+        )
+        report = analyze(result)
+        registry = MetricsRegistry()
+        record_forensics_metrics(registry, report)
+        snapshot = registry.to_dict()
+        assert snapshot["histograms"]["forensics_wasted_slot_fraction"]["count"] == 1
+        assert snapshot["histograms"]["forensics_critical_path_depth"]["sum"] == 1
+        assert (
+            sum(snapshot["counters"][f"forensics_slots_{c.replace('-', '_')}"]
+                for c in SLOT_CLASSES)
+            == report.slots
+        )
+
+    def test_span_events_round_trip_through_trace_export(self, tmp_path):
+        net = gnp_connected(24, 0.2, seed=5)
+        algo = BGIBroadcast(net.r)
+        result = run_broadcast(net, algo, seed=1, trace_level=TraceLevel.FULL)
+        report = analyze(result, algorithm=algo)
+        events = forensic_span_events(report)
+        names = {e["name"] for e in events}
+        assert any(name.startswith("slots.") for name in names)
+        assert any(name.startswith("dag.depth[") for name in names)
+        assert any(name.startswith("stage.decay") for name in names)
+        target = write_trace(events, tmp_path / "forensics.trace.json")
+        parsed = parse_trace_events(target.read_text())
+        assert len(parsed) == len(events)
+
+    def test_span_events_are_deterministic(self):
+        net = path(8)
+        algo = RoundRobinBroadcast(net.r)
+        result = run_broadcast(net, algo, trace_level=TraceLevel.FULL)
+        a = forensic_span_events(analyze(result, algorithm=algo))
+        b = forensic_span_events(analyze(result, algorithm=algo))
+        assert a == b
+
+
+@st.composite
+def _traced_runs(draw):
+    family = draw(st.sampled_from(["path", "star", "tree", "gnp"]))
+    n = draw(st.integers(min_value=2, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=50))
+    topo_seed = draw(st.integers(min_value=0, max_value=10))
+    if family == "path":
+        net = path(n)
+    elif family == "star":
+        net = star(n)
+    elif family == "tree":
+        net = random_tree(n, seed=topo_seed)
+    else:
+        net = gnp_connected(n, min(0.9, 4.0 / n), seed=topo_seed)
+    algo_name = draw(st.sampled_from(["round-robin", "bgi", "kp"]))
+    if algo_name == "round-robin":
+        algo = RoundRobinBroadcast(net.r)
+    elif algo_name == "bgi":
+        algo = BGIBroadcast(net.r)
+    else:
+        algo = KnownRadiusKP(net.r, max(1, net.radius), stage_constant=4)
+    return net, algo, seed
+
+
+@given(_traced_runs())
+@settings(max_examples=40, deadline=None)
+def test_every_informed_node_has_one_parent_woken_after_it(case):
+    """DAG soundness over random runs: every non-source informed node has
+    exactly one parent, and its parent woke strictly before it did."""
+    net, algo, seed = case
+    result = run_broadcast(net, algo, seed=seed, trace_level=TraceLevel.FULL)
+    report = analyze(result, algorithm=algo)
+    dag = report.dag
+    informed = set(result.trace.wake_times)
+    assert set(dag.parents) == informed - {dag.root}
+    for child, parent in dag.parents.items():
+        assert parent in informed
+        assert dag.wake_slots[parent] < dag.wake_slots[child]
+        assert dag.depths[child] == dag.depths[parent] + 1
+    # The critical path runs root -> last-informed node through parents,
+    # so its length matches that node's depth (not necessarily the max).
+    assert dag.critical_path[0] == dag.root
+    last = dag.critical_path[-1]
+    assert len(dag.critical_path) == dag.depths[last] + 1
+    assert dag.wake_slots[last] == max(dag.wake_slots.values())
+    assert dag.depth == max(dag.depths.values())
+    assert sum(report.slot_classes.values()) == report.slots

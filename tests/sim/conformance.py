@@ -234,7 +234,7 @@ def _fast_runner(net, make_algo, seeds, faults=None, max_steps=4000,
     results = [
         run_broadcast_fast(
             net, make_algo(net), seed=seed, faults=faults,
-            max_steps=max_steps, metrics=metrics,
+            max_steps=max_steps, metrics=metrics, trace_level=trace_level,
         )
         for seed in seeds
     ]
@@ -246,12 +246,9 @@ def _batch_runner(engine: str):
             trace_level=TraceLevel.NONE, collision_detection=False,
             with_metrics=False) -> Outcome:
         metrics = MetricsRegistry() if with_metrics else None
-        kwargs = {}
+        kwargs = {"trace_level": trace_level}
         if engine == "batched_event":
-            kwargs = {
-                "trace_level": trace_level,
-                "collision_detection": collision_detection,
-            }
+            kwargs["collision_detection"] = collision_detection
         try:
             results = run_broadcast_batch(
                 net, make_algo(net), seeds=list(seeds), engine=engine,
@@ -271,11 +268,11 @@ register_engine(EngineSpec("reference", _serial_runner("reference")))
 register_engine(EngineSpec("event", _serial_runner("event")))
 register_engine(EngineSpec(
     "fast", _fast_runner,
-    adaptive=False, traces=False, collision_detection=False, metrics=False,
+    adaptive=False, collision_detection=False, metrics=False,
 ))
 register_engine(EngineSpec(
     "batched_fast", _batch_runner("batched_fast"),
-    adaptive=False, traces=False, collision_detection=False, metrics=False,
+    adaptive=False, collision_detection=False, metrics=False,
 ))
 register_engine(EngineSpec("batched_event", _batch_runner("batched_event")))
 
@@ -332,6 +329,18 @@ def assert_results_match(candidate, reference, key, compare_traces=False):
             candidate.trace.informed_counts == reference.trace.informed_counts
         ), key
         assert candidate.trace.wake_times == reference.trace.wake_times, key
+        if (
+            candidate.trace.level is TraceLevel.FULL
+            and len(candidate.trace.initially_informed()) == 1
+        ):
+            # Forensic identity rides on trace identity, but assert it
+            # end to end anyway: the derived DAG, slot taxonomy, and
+            # summary scalars must be bit-equal across engines.
+            from repro.obs.forensics import analyze
+
+            assert (
+                analyze(candidate).to_dict() == analyze(reference).to_dict()
+            ), key
 
 
 def assert_outcomes_match(candidate: Outcome, reference: Outcome, key,

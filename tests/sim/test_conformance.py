@@ -67,6 +67,41 @@ def test_all_engines_conform_oblivious(networks, algo_name, topo, plan_name):
         )
 
 
+@pytest.mark.parametrize("plan_name", sorted(OBLIVIOUS_PLANS))
+@pytest.mark.parametrize("topo", sorted(OBLIVIOUS_TOPOLOGIES))
+@pytest.mark.parametrize("algo_name", sorted(OBLIVIOUS_ALGORITHMS))
+def test_all_engines_record_identical_full_traces(
+    networks, algo_name, topo, plan_name
+):
+    """The oblivious matrix again, at ``TraceLevel.FULL``: all five
+    engines must record bit-identical channel traces, and the forensic
+    reports derived from them — propagation DAG, slot taxonomy, summary
+    scalars — must be bit-equal too (``assert_results_match`` derives
+    and compares them whenever it sees a FULL trace)."""
+    net = networks[topo]
+    make = OBLIVIOUS_ALGORITHMS[algo_name]
+    plan = OBLIVIOUS_PLANS[plan_name](net)
+    budget = 120 if plan is not None else 4000
+
+    reference = ENGINES["reference"].runner(
+        net, make, SEEDS, faults=plan, max_steps=budget,
+        trace_level=TraceLevel.FULL,
+    )
+    for name in all_engines():
+        if name == "reference":
+            continue
+        spec = ENGINES[name]
+        assert spec.traces, f"{name} no longer claims trace support"
+        candidate = spec.runner(
+            net, make, SEEDS, faults=plan, max_steps=budget,
+            trace_level=TraceLevel.FULL,
+        )
+        assert_outcomes_match(
+            candidate, reference, key=(name, algo_name, topo, plan_name),
+            compare_traces=True,
+        )
+
+
 @pytest.mark.parametrize("plan_name", sorted(ADAPTIVE_PLANS))
 @pytest.mark.parametrize("case", sorted(ADAPTIVE_CASES))
 def test_adaptive_engines_conform_slot_for_slot(case, plan_name):

@@ -60,3 +60,58 @@ class TestTrace:
         for step in range(10):
             trace.record(step, (0,), {}, (), (), informed=1)
         assert len(trace.format_timeline(max_steps=3).splitlines()) == 3
+
+    @pytest.mark.parametrize("level", [TraceLevel.NONE, TraceLevel.PROGRESS])
+    def test_full_only_views_name_required_and_actual_level(self, level):
+        trace = Trace(level=level)
+        for view in (
+            trace.format_timeline,
+            trace.total_transmissions,
+            trace.total_collisions,
+        ):
+            with pytest.raises(ValueError, match=f"TraceLevel.{level.name}"):
+                view()
+            with pytest.raises(ValueError, match="requires TraceLevel.FULL"):
+                view()
+
+    def test_initially_informed_marker(self):
+        trace = Trace(level=TraceLevel.PROGRESS)
+        trace.mark_initially_informed(4)
+        trace.record(0, (4,), {2: 4}, (), (2,), informed=2)
+        assert trace.wake_times == {4: -1, 2: 0}
+        assert trace.initially_informed() == (4,)
+
+    def test_marker_is_noop_at_level_none(self):
+        trace = Trace(level=TraceLevel.NONE)
+        trace.mark_initially_informed(4)
+        assert trace.wake_times == {}
+
+    def test_summary_at_progress(self):
+        trace = Trace(level=TraceLevel.PROGRESS)
+        trace.mark_initially_informed(0)
+        trace.record(0, (0,), {1: 0}, (), (1,), informed=2)
+        trace.record(1, (1,), {2: 1}, (), (2,), informed=3)
+        summary = trace.summary()
+        assert summary["level"] == "PROGRESS"
+        assert summary["slots"] == 2
+        assert summary["informed_final"] == 3
+        assert summary["first_wake_slot"] == 0
+        assert summary["last_wake_slot"] == 1
+        assert summary["initially_informed"] == (0,)
+
+    def test_summary_requires_progress(self):
+        trace = Trace(level=TraceLevel.NONE)
+        with pytest.raises(ValueError, match="at least TraceLevel.PROGRESS"):
+            trace.summary()
+
+    def test_summary_of_single_node_run(self):
+        # A single-node network records no slots and no non-negative
+        # wakes; the summary must still make sense (the degenerate case
+        # the DAG root marker exists for).
+        trace = Trace(level=TraceLevel.FULL)
+        trace.mark_initially_informed(0)
+        summary = trace.summary()
+        assert summary["slots"] == 0
+        assert summary["informed_final"] == 1
+        assert summary["first_wake_slot"] is None
+        assert summary["initially_informed"] == (0,)
