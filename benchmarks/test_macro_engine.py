@@ -1,0 +1,110 @@
+"""Macro-step engine gates (library performance tracking).
+
+Not a paper claim — the macro path exists so million-node broadcasts fit
+in an interactive loop, and these gates keep that promise honest:
+
+* **>= 5x over the batched engine** on the registry's
+  ``million_node_engine`` workload (KP known-radius on sparse G(n, p),
+  n = 10^5), with bit-identical per-node wake slots.  The comparator is
+  ``run_broadcast_batch(engine="batched_fast")`` — the fastest pre-macro
+  path for a single oblivious trial — on the same CSR network.
+* **CSR topology generation beats the legacy builder** for the layered
+  hard instances, edge for edge.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.obs.suite import million_node_workload
+from repro.sim import run_broadcast_batch, run_broadcast_macro
+from repro.topology import km_hard_layered, km_hard_layered_csr
+
+
+def test_macro_vs_batched_on_million_node_workload(table_reporter):
+    """The tentpole gate: sparse macro-stepping >= 5x the array engine.
+
+    Both paths run the registered ``million_node_engine`` workload for
+    one trial; per-node wake slots must match exactly (the conformance
+    matrix asserts this at small n — here it is re-checked at the scale
+    the speedup is claimed for).
+    """
+    net, algo = million_node_workload(quick=False)
+
+    run_broadcast_macro(net, algo, seed=1)  # warm both code paths
+    start = time.perf_counter()
+    macro = run_broadcast_macro(net, algo, seed=1)
+    macro_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_broadcast_batch(net, algo, seeds=[1], engine="batched_fast")
+    batched_s = time.perf_counter() - start
+
+    assert macro.completed and batched[0].completed
+    assert macro.wake_times == batched[0].wake_times
+    assert macro.time == batched[0].time
+
+    speedup = batched_s / macro_s
+    table_reporter.record(
+        "macro-engine",
+        render_table(
+            ["path", "wall (s)", "slots/s"],
+            [
+                ["batched fast", f"{batched_s:.3f}",
+                 f"{batched[0].time / batched_s:.0f}"],
+                ["macro-step", f"{macro_s:.3f}",
+                 f"{macro.time / macro_s:.0f}"],
+                ["speedup", f"{speedup:.1f}x", ""],
+            ],
+            title=f"KP known-radius, G({net.n}, 10/n), single trial",
+        ),
+    )
+    assert speedup >= 5.0, f"macro speedup only {speedup:.1f}x"
+
+
+def test_macro_registry_workload_quick(benchmark):
+    """The registered workload's quick variant under pytest-benchmark."""
+    net, algo = million_node_workload(quick=True)
+    result = benchmark(lambda: run_broadcast_macro(net, algo, seed=1))
+    assert result.completed
+
+
+def test_csr_topology_generation_beats_legacy(table_reporter):
+    """CSR-native construction of the same km_hard_layered instance."""
+    n, depth, seed = 20_000, 16, 7
+
+    start = time.perf_counter()
+    legacy = km_hard_layered(n, depth, seed=seed)
+    legacy_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    csr = km_hard_layered_csr(n, depth, seed=seed)
+    csr_s = time.perf_counter() - start
+
+    assert csr.n == legacy.n and csr.num_edges == legacy.num_edges
+    speedup = legacy_s / csr_s
+    table_reporter.record(
+        "macro-engine",
+        render_table(
+            ["builder", "wall (s)"],
+            [
+                ["legacy dict-of-sets", f"{legacy_s:.3f}"],
+                ["CSR-native", f"{csr_s:.3f}"],
+                ["speedup", f"{speedup:.1f}x"],
+            ],
+            title=f"km_hard_layered({n}, {depth}) construction",
+        ),
+    )
+    assert speedup >= 2.0, f"CSR builder only {speedup:.1f}x over legacy"
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_workload_is_deterministic(quick):
+    """The registered workload pins its topology: same arrays every build."""
+    a, _ = million_node_workload(quick)
+    b, _ = million_node_workload(quick)
+    ai, bi = a.csr_arrays()[1], b.csr_arrays()[1]
+    assert ai.shape == bi.shape and (ai == bi).all()

@@ -58,6 +58,17 @@ class RoundRobinBroadcast(BroadcastAlgorithm):
     ) -> np.ndarray:
         return labels == (step % self.period)
 
+    def macro_plan(self, start: int, count: int, r: int):
+        """Macro-step form: every slot is a solo slot for one label."""
+        from ..sim.macro import ELIGIBLE_ANY_AWAKE, MacroPlan
+
+        return MacroPlan(
+            start=start,
+            probs=np.full(count, -1.0, dtype=np.float64),
+            elig=np.full(count, ELIGIBLE_ANY_AWAKE, dtype=np.int64),
+            single=(start + np.arange(count, dtype=np.int64)) % self.period,
+        )
+
     def max_steps_hint(self, n: int, r: int) -> int | None:
         # One layer per period, at most n - 1 layers.
         return self.period * n + self.period

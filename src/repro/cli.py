@@ -36,6 +36,8 @@ Subcommands:
 Examples::
 
     repro run --topology geometric --n 200 --algorithm kp
+    repro run --topology gnp-csr --n 1000000 --avg-degree 12 \
+        --algorithm kp-known-d --engine macro
     repro run --topology gnp --n 64 --algorithm bgi --faults plan.json
     repro run --topology gnp --n 64 --algorithm kp --metrics --log-jsonl run.jsonl
     repro compare --topology km-layered --n 1024 --depth 64 --runs 10
@@ -91,9 +93,10 @@ from .sim import RadioNetwork, TraceLevel, repeat_broadcast, run_broadcast
 __all__ = ["main"]
 
 
-def _build_topology(args: argparse.Namespace) -> RadioNetwork:
+def _build_topology(args: argparse.Namespace):
     n, depth, seed = args.n, args.depth, args.topology_seed
-    builders: dict[str, Callable[[], RadioNetwork]] = {
+    avg_degree = getattr(args, "avg_degree", 6.0)
+    builders: dict[str, Callable[[], object]] = {
         "path": lambda: topology.path(n),
         "star": lambda: topology.star(n),
         "grid": lambda: topology.grid(max(2, int(n**0.5)), max(2, int(n**0.5))),
@@ -102,6 +105,13 @@ def _build_topology(args: argparse.Namespace) -> RadioNetwork:
         "geometric": lambda: topology.random_geometric(n, seed=seed),
         "layered": lambda: topology.uniform_complete_layered(n, depth),
         "km-layered": lambda: topology.km_hard_layered(n, depth, seed=seed),
+        # CSR-native builders: same distributions, flat-array construction;
+        # required for million-node topologies (see docs/PERFORMANCE.md).
+        "gnp-csr": lambda: topology.gnp_random_csr(
+            n, min(0.9, avg_degree / n), seed=seed
+        ),
+        "layered-csr": lambda: topology.uniform_complete_layered_csr(n, depth),
+        "km-layered-csr": lambda: topology.km_hard_layered_csr(n, depth, seed=seed),
     }
     if args.topology not in builders:
         raise SystemExit(f"unknown topology {args.topology!r}; choose from {sorted(builders)}")
@@ -137,10 +147,13 @@ ALGORITHM_CHOICES = [
 
 def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="geometric",
-                        help="path|star|grid|tree|gnp|geometric|layered|km-layered")
+                        help="path|star|grid|tree|gnp|geometric|layered|"
+                             "km-layered|gnp-csr|layered-csr|km-layered-csr")
     parser.add_argument("--n", type=int, default=200, help="number of nodes")
     parser.add_argument("--depth", type=int, default=8,
                         help="radius for layered topologies")
+    parser.add_argument("--avg-degree", type=float, default=6.0,
+                        help="expected degree for gnp-csr (p = avg-degree/n)")
     parser.add_argument("--topology-seed", type=int, default=0)
 
 
@@ -171,6 +184,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         net = load_network(args.load_network)
     else:
         net = _build_topology(args)
+    if args.engine in ("reference", "event") and hasattr(net, "to_radio_network"):
+        # The per-node engines need adjacency dicts; CSR topologies are
+        # generated for the array paths and convert explicitly.
+        net = net.to_radio_network()
     algorithm = _build_algorithm(args.algorithm, net)
     level = TraceLevel.FULL if args.trace else TraceLevel.NONE
     faults = _load_fault_plan(args.faults) if args.faults else None
@@ -204,17 +221,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # run is `repro trace export`-able just like a sweep.
         spans = SpanRecorder(sink=_span_sink)
     try:
-        result = run_broadcast(
-            net, algorithm, seed=args.seed, trace_level=level, faults=faults,
-            metrics=metrics, spans=spans,
-        )
+        if args.engine == "macro":
+            from .sim.macro import run_broadcast_macro
+
+            result = run_broadcast_macro(
+                net, algorithm, seed=args.seed, trace_level=level,
+                faults=faults, metrics=metrics, spans=spans,
+                allow_large=args.allow_large,
+            )
+        elif args.engine == "fast":
+            from .sim.fast import run_broadcast_fast
+
+            result = run_broadcast_fast(
+                net, algorithm, seed=args.seed, trace_level=level,
+                faults=faults, metrics=metrics, spans=spans,
+                allow_large=args.allow_large,
+            )
+        else:
+            result = run_broadcast(
+                net, algorithm, seed=args.seed, trace_level=level,
+                faults=faults, metrics=metrics, spans=spans,
+                engine=args.engine, allow_large=args.allow_large,
+            )
     except ConfigurationError as exc:
         raise SystemExit(f"run failed: {exc}")
     if runlog is not None:
         runlog.event(
             "run_completed",
             algorithm=result.algorithm,
-            engine="reference",
+            engine=args.engine,
             seed=result.seed,
             n=result.n,
             time=result.time,
@@ -242,7 +277,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if runlog is not None:
         print(f"run log written to {runlog.path}")
     if args.save_network:
-        save_network(net, args.save_network)
+        to_save = net.to_radio_network() if hasattr(net, "to_radio_network") else net
+        save_network(to_save, args.save_network)
         print(f"network saved to {args.save_network}")
     if args.save_result:
         save_result(result, args.save_result)
@@ -856,6 +892,14 @@ def main(argv: list[str] | None = None) -> int:
     _add_topology_args(p_run)
     p_run.add_argument("--algorithm", default="kp", choices=ALGORITHM_CHOICES)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--engine", default="reference",
+                       choices=["reference", "event", "fast", "macro"],
+                       help="execution engine (results are bit-identical; "
+                            "macro is the compiled multi-slot path for "
+                            "large n — see docs/PERFORMANCE.md)")
+    p_run.add_argument("--allow-large", action="store_true",
+                       help="override the estimated-memory guard for FULL "
+                            "traces / dense metrics at very large n")
     p_run.add_argument("--trace", action="store_true", help="print the channel trace")
     p_run.add_argument("--trace-steps", type=int, default=60)
     p_run.add_argument("--load-network", metavar="FILE",

@@ -233,6 +233,33 @@ class _PhasedAlgorithm(BroadcastAlgorithm):
             return eligible
         return eligible & (coins.uniform(step) < probability)
 
+    def macro_plan(self, start: int, count: int, r: int):
+        """Decode ``count`` slots at once for the macro-step engine.
+
+        Each slot is decoded by exactly the same ``_locate_phase`` +
+        ``StageTimetable.slot`` pair as :meth:`transmit_mask`, so the
+        plan is the batched form of the per-slot masks by construction
+        (the conformance suite asserts it stays that way).
+        """
+        from ..sim.macro import ELIGIBLE_ANY_AWAKE, MacroPlan
+
+        probs = np.full(count, -1.0, dtype=np.float64)
+        elig = np.full(count, ELIGIBLE_ANY_AWAKE, dtype=np.int64)
+        single = np.full(count, -1, dtype=np.int64)
+        for j in range(count):
+            located = _locate_phase(self._phase_starts, start + j)
+            if located is None:
+                continue  # before the schedule: silence
+            phase_index, offset = located
+            decoded = self._phases[phase_index].slot(offset)
+            if decoded is None:
+                single[j] = 0  # the source's solo slot
+                continue
+            probability, stage_start = decoded
+            probs[j] = probability
+            elig[j] = self._phase_starts[phase_index] + stage_start
+        return MacroPlan(start=start, probs=probs, elig=elig, single=single)
+
     def max_steps_hint(self, n: int, r: int) -> int | None:
         return self._total_duration
 

@@ -27,6 +27,7 @@ __all__ = [
     "batched_workload",
     "default_registry",
     "forensics_overhead_workload",
+    "million_node_workload",
     "obs_overhead_workload",
     "telemetry_overhead_workload",
 ]
@@ -306,6 +307,35 @@ def _sweep_pool(quick: bool):
     return lambda: run_sweep(spec, workers=2, cache=None)
 
 
+def million_node_workload(quick: bool = False):
+    """The macro-step engine's canonical workload: (network, algorithm).
+
+    A sparse G(n, p) at the scale the macro path exists for — average
+    degree 10, KP known-radius schedule.  Shared by the
+    ``million_node_engine`` bench and ``benchmarks/test_macro_engine.py``
+    so the committed baseline and the >= 5x gate measure the same thing.
+    """
+    from ..core import KnownRadiusKP
+    from ..topology import gnp_random_csr
+
+    n = 20_000 if quick else 100_000
+    net = gnp_random_csr(n, 10 / n, seed=11)
+    algorithm = KnownRadiusKP(net.r, max(1, net.radius))
+    return net, algorithm
+
+
+@register(
+    "million_node_engine",
+    tags=("engine", "macro", "scale"),
+    description="Macro-step engine, KP known-radius on sparse G(n, p)",
+)
+def _million_node_engine(quick: bool):
+    from ..sim import run_broadcast_macro
+
+    net, algorithm = million_node_workload(quick)
+    return lambda: run_broadcast_macro(net, algorithm, seed=1)
+
+
 @register(
     "topology_generation",
     tags=("topology",),
@@ -316,6 +346,18 @@ def _topology_generation(quick: bool):
 
     n, depth = (512, 64) if quick else (2048, 128)
     return lambda: km_hard_layered(n, depth, seed=7)
+
+
+@register(
+    "topology_csr_generation",
+    tags=("topology", "scale"),
+    description="CSR-native sparse G(n, p) construction (skip sampling)",
+)
+def _topology_csr_generation(quick: bool):
+    from ..topology import gnp_random_csr
+
+    n = 100_000 if quick else 1_000_000
+    return lambda: gnp_random_csr(n, 10 / n, seed=7)
 
 
 @register(

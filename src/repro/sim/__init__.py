@@ -27,6 +27,13 @@ from .fast import (
     run_broadcast_fast,
 )
 from .faults import FaultCounters, FaultPlan, derive_fault_seed
+from .guard import check_memory_budget
+from .macro import (
+    MacroPlan,
+    MacroStepEngine,
+    resolve_macro_backend,
+    run_broadcast_macro,
+)
 from .messages import Message, SOURCE_PAYLOAD, source_message
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm, ObliviousTransmitter, Protocol, QUIET_FOREVER
@@ -60,6 +67,8 @@ __all__ = [
     "FastEngine",
     "FaultCounters",
     "FaultPlan",
+    "MacroPlan",
+    "MacroStepEngine",
     "NodeRandom",
     "Message",
     "NetworkError",
@@ -79,14 +88,17 @@ __all__ = [
     "save_result",
     "TraceLevel",
     "VectorizedAlgorithm",
+    "check_memory_budget",
     "coin_uniform",
     "default_max_steps",
     "derive_fault_seed",
     "derive_node_rng",
     "derive_trial_seeds",
     "repeat_broadcast",
+    "resolve_macro_backend",
     "run_broadcast",
     "run_broadcast_batch",
     "run_broadcast_fast",
+    "run_broadcast_macro",
     "source_message",
 ]

@@ -1,0 +1,139 @@
+"""Optional numba JIT kernels for the macro-step engine.
+
+The numpy macro-step path (:mod:`repro.sim.macro`) still pays ~10 numpy
+dispatches per slot; this module compiles the whole K-slot block — plan
+decode, coin flips, CSR neighbour walk, exactly-one resolution, early
+settle exit — into one ``@njit`` call.  Numba is *optional*: the module
+imports cleanly without it (``HAVE_NUMBA = False``) and the engine falls
+back to the numpy block implementation, which is asserted bit-identical
+by the conformance suite whenever numba is present.
+
+The coin computation is the scalar transcription of
+:meth:`repro.sim.coins.CoinSource.uniform` — same splitmix64 constants,
+same ``(key ^ step_salt)`` input, same 53-bit float mapping — so the JIT
+path reproduces every engine's coin flips exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "run_plan_block"]
+
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_SHIFT30 = np.uint64(30)
+_SHIFT27 = np.uint64(27)
+_SHIFT31 = np.uint64(31)
+_SHIFT11 = np.uint64(11)
+_COIN_SCALE = 2.0**-53
+_ASLEEP = np.int64(np.iinfo(np.int64).max)
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the always-available fallback
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Placeholder so the kernel below still defines (uncompiled)."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+@njit(cache=True)
+def run_plan_block(
+    indptr,
+    indices,
+    wake_steps,
+    awake_idx,
+    awake_wakes,
+    awake_count,
+    keys,
+    start,
+    salts,
+    probs,
+    elig,
+    single_idx,
+    counts,
+    touched,
+):  # pragma: no cover - measured via the backend-identity tests
+    """Execute one macro block of ``len(probs)`` slots; fully fused.
+
+    State arrays (``wake_steps``, ``awake_idx``, ``awake_wakes``,
+    ``counts`` — all-zero between calls, ``touched`` — scratch) are
+    mutated in place.  Returns ``(executed_slots, new_awake_count)``.
+
+    Slot ``j`` (global step ``start + j``) transmits per the macro plan:
+    ``single_idx[j] >= 0`` is a solo deterministic slot, else
+    ``probs[j] < 0`` is silent, else every node with
+    ``wake < elig[j]`` transmits when its coin is below ``probs[j]``
+    (``probs[j] >= 1``: always).  The eligible set is a prefix of the
+    wake-ordered awake list, found by binary search.
+    """
+    n = wake_steps.shape[0]
+    executed = 0
+    for j in range(probs.shape[0]):
+        if awake_count == n:
+            break
+        step = start + j
+        n_touched = 0
+        s = single_idx[j]
+        if s >= 0:
+            if wake_steps[s] < elig[j]:
+                for e in range(indptr[s], indptr[s + 1]):
+                    w = indices[e]
+                    if counts[w] == 0:
+                        touched[n_touched] = w
+                        n_touched += 1
+                    counts[w] += 1
+        elif probs[j] >= 0.0:
+            limit = elig[j]
+            p = probs[j]
+            lo = 0
+            hi = awake_count
+            while lo < hi:  # first awake entry with wake >= limit
+                mid = (lo + hi) >> 1
+                if awake_wakes[mid] < limit:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            salt = salts[j]
+            for t in range(lo):
+                v = awake_idx[t]
+                if p < 1.0:
+                    z = keys[v] ^ salt
+                    z ^= z >> _SHIFT30
+                    z *= _MIX1
+                    z ^= z >> _SHIFT27
+                    z *= _MIX2
+                    z ^= z >> _SHIFT31
+                    if (z >> _SHIFT11) * _COIN_SCALE >= p:
+                        continue
+                for e in range(indptr[v], indptr[v + 1]):
+                    w = indices[e]
+                    if counts[w] == 0:
+                        touched[n_touched] = w
+                        n_touched += 1
+                    counts[w] += 1
+        executed += 1
+        if n_touched:
+            newly = 0
+            for ti in range(n_touched):
+                w = touched[ti]
+                c = counts[w]
+                counts[w] = 0  # restore the all-zero invariant
+                if c == 1 and wake_steps[w] == _ASLEEP:
+                    touched[newly] = w  # compact; ti >= newly always
+                    newly += 1
+            if newly:
+                touched[:newly].sort()  # match the numpy path's append order
+                for t2 in range(newly):
+                    w = touched[t2]
+                    wake_steps[w] = step
+                    awake_idx[awake_count] = w
+                    awake_wakes[awake_count] = step
+                    awake_count += 1
+    return executed, awake_count

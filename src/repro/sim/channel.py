@@ -30,6 +30,36 @@ from .network import RadioNetwork
 __all__ = ["ChannelKernel"]
 
 
+class _IdentityIndex:
+    """Label -> index map for identity-labelled (CSR-native) networks.
+
+    Behaves like the dict the kernel builds for a
+    :class:`~repro.sim.network.RadioNetwork` — ``index[label] == label``
+    for every valid label — without materialising n dict entries.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __getitem__(self, label: int) -> int:
+        i = int(label)
+        if not 0 <= i < self.n:
+            raise KeyError(label)
+        return i
+
+    def __contains__(self, label: int) -> bool:
+        return 0 <= int(label) < self.n
+
+    def get(self, label: int, default=None):
+        i = int(label)
+        return i if 0 <= i < self.n else default
+
+    def __len__(self) -> int:
+        return self.n
+
+
 class ChannelKernel:
     """CSR neighbour lists + bincount hit counting for one topology.
 
@@ -46,18 +76,27 @@ class ChannelKernel:
     def __init__(self, network: RadioNetwork):
         self.network = network
         self.n = network.n
-        self.labels = np.array(network.nodes, dtype=np.int64)
-        self.index: dict[int, int] = {
-            int(label): i for i, label in enumerate(self.labels)
-        }
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
-        cols: list[int] = []
-        for i, label in enumerate(self.labels):
-            nbrs = network.out_neighbors[int(label)]
-            indptr[i + 1] = indptr[i] + len(nbrs)
-            cols.extend(self.index[v] for v in nbrs)
-        self.indptr = indptr
-        self.indices = np.array(cols, dtype=np.int64)
+        csr = getattr(network, "csr_arrays", None)
+        if csr is not None:
+            # CSR-native topology (repro.topology.csr.CSRNetwork): labels
+            # are the identity 0..n-1 and the arrays already follow this
+            # kernel's convention — adopt them without copying.
+            self.indptr, self.indices = csr()
+            self.labels = np.arange(self.n, dtype=np.int64)
+            self.index = _IdentityIndex(self.n)
+        else:
+            self.labels = np.array(network.nodes, dtype=np.int64)
+            self.index = {
+                int(label): i for i, label in enumerate(self.labels)
+            }
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            cols: list[int] = []
+            for i, label in enumerate(self.labels):
+                nbrs = network.out_neighbors[int(label)]
+                indptr[i + 1] = indptr[i] + len(nbrs)
+                cols.extend(self.index[v] for v in nbrs)
+            self.indptr = indptr
+            self.indices = np.array(cols, dtype=np.int64)
         # Written fresh on every resolve(); only entries with hits == 1
         # this slot are ever read, and those were written this slot.
         self._sender_buf = np.empty(self.n, dtype=np.int64)

@@ -178,3 +178,29 @@ class CoinSource:
         z = self._keys ^ np.uint64(_step_salt(step))
         _mix64_inplace(z)
         return (z >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+    def uniform_at(self, step: int, idx: np.ndarray) -> np.ndarray:
+        """Coins of slot ``step`` for the node indices ``idx`` only.
+
+        ``uniform_at(step, idx)`` equals ``uniform(step)[idx]`` element by
+        element (each coin is a pure function of its own key) but costs
+        ``O(len(idx))`` rather than ``O(n)`` — the macro-step engine uses
+        it to flip coins only for the currently eligible nodes.  Only
+        defined for single-run ``(n,)`` key arrays.
+        """
+        z = self._keys[idx] ^ np.uint64(_step_salt(step))  # fancy index copies
+        _mix64_inplace(z)
+        return (z >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+    def uniform_keys(self, step: int, keys_sub: np.ndarray) -> np.ndarray:
+        """Coins of slot ``step`` for a pre-gathered key subset.
+
+        ``uniform_keys(step, keys[idx])`` equals ``uniform_at(step, idx)``;
+        callers that flip coins for the same node subset over many
+        consecutive slots (the macro-step engine, whose eligible set is
+        constant within a KP stage) gather the keys once and amortise the
+        fancy-index copy across the run of slots.
+        """
+        z = keys_sub ^ np.uint64(_step_salt(step))
+        _mix64_inplace(z)
+        return (z >> np.uint64(11)).astype(np.float64) * 2.0**-53

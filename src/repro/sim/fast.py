@@ -49,7 +49,13 @@ from .coins import CoinSource, derive_trial_seeds
 from .errors import ConfigurationError
 from .faults import CompiledFaults, FaultCounters, FaultPlan, compile_faults, derive_fault_seed
 from .network import RadioNetwork
-from .run import BroadcastResult, _layer_times, _record_result_metrics, default_max_steps
+from .guard import check_memory_budget
+from .run import (
+    BroadcastResult,
+    _layer_times_for,
+    _record_result_metrics,
+    default_max_steps,
+)
 from .trace import Trace, TraceLevel
 
 __all__ = [
@@ -788,10 +794,18 @@ def run_broadcast_fast(
     timings: Timings | None = None,
     spans: SpanRecorder | None = None,
     trace_level: TraceLevel = TraceLevel.NONE,
+    allow_large: bool = False,
 ) -> BroadcastResult:
-    """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`."""
+    """Vectorised counterpart of :func:`repro.sim.run.run_broadcast`.
+
+    ``allow_large`` skips the :func:`~repro.sim.guard.check_memory_budget`
+    estimate guard (FULL traces at large ``n * max_steps``)."""
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
+    check_memory_budget(
+        network.n, max_steps, trace_level,
+        dense_metrics=metrics is not None, allow_large=allow_large,
+    )
     if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     engine = FastEngine(
@@ -819,7 +833,7 @@ def run_broadcast_fast(
         algorithm=algorithm.name,
         seed=seed,
         wake_times=wake_times,
-        layer_times=_layer_times(network, wake_times),
+        layer_times=_layer_times_for(network, wake_times, engine.wake_steps),
         trace=engine.trace,
         fault_counters=(
             engine.fault_counters.snapshot()
@@ -848,6 +862,7 @@ def run_broadcast_batch(
     trace_level: TraceLevel = TraceLevel.NONE,
     collision_detection: bool = False,
     step_hooks=None,
+    allow_large: bool = False,
 ) -> list[BroadcastResult]:
     """Run many Monte-Carlo trials of one broadcast as a single batch.
 
@@ -914,6 +929,10 @@ def run_broadcast_batch(
         )
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
+    check_memory_budget(
+        network.n, max_steps, trace_level, trials=len(seeds),
+        dense_metrics=metrics is not None, allow_large=allow_large,
+    )
     if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     if engine == "auto":
@@ -967,7 +986,7 @@ def run_broadcast_batch(
             algorithm=algorithm.name,
             seed=seed,
             wake_times=wake_times,
-            layer_times=_layer_times(network, wake_times),
+            layer_times=_layer_times_for(network, wake_times, engine.wake_steps[t]),
             trace=engine.trace_for(t),
             fault_counters=engine.fault_counters_for(t),
             timings=timings,
@@ -1007,7 +1026,7 @@ def _run_batched_event(
             algorithm=algorithm.name,
             seed=seed,
             wake_times=wake_times,
-            layer_times=_layer_times(network, wake_times),
+            layer_times=_layer_times_for(network, wake_times),
             trace=engine.trace_for(t),
             fault_counters=engine.fault_counters_for(t),
             timings=timings,

@@ -23,6 +23,7 @@ from .coins import derive_node_rng, derive_trial_seeds
 from .engine import SynchronousEngine
 from .errors import BroadcastIncompleteError, ConfigurationError
 from .faults import FaultCounters, FaultPlan
+from .guard import check_memory_budget
 from .network import RadioNetwork
 from .protocol import BroadcastAlgorithm
 from .trace import Trace, TraceLevel
@@ -113,6 +114,42 @@ def _layer_times(network: RadioNetwork, wake_times: dict[int, int]) -> tuple[int
     return tuple(times)
 
 
+def _layer_times_from_arrays(
+    depths: "np.ndarray", wake_steps: "np.ndarray"
+) -> tuple[int | None, ...]:
+    """:func:`_layer_times` computed from flat arrays — identical output,
+    no per-node Python loop.  ``depths`` is the BFS depth of every node
+    (e.g. :meth:`~repro.topology.csr.CSRNetwork.depths_array`) and
+    ``wake_steps`` the engine's wake array in the same node order, with
+    sleepers at the int64 max sentinel."""
+    import numpy as np
+
+    asleep = np.iinfo(np.int64).max
+    num_layers = int(depths.max()) + 1
+    totals = np.bincount(depths, minlength=num_layers)
+    informed = wake_steps != asleep
+    informed_depths = depths[informed]
+    settled = np.bincount(informed_depths, minlength=num_layers)
+    latest = np.full(num_layers, np.iinfo(np.int64).min, dtype=np.int64)
+    np.maximum.at(latest, informed_depths, wake_steps[informed])
+    return tuple(
+        int(latest[j]) if settled[j] == totals[j] else None
+        for j in range(num_layers)
+    )
+
+
+def _layer_times_for(
+    network, wake_times: dict[int, int], wake_steps=None
+) -> tuple[int | None, ...]:
+    """Layer times via the array fast path when the network carries
+    precomputed depths (CSR-native topologies; node order == label
+    order), else via the label-dict walk over ``network.layers()``."""
+    depths_fn = getattr(network, "depths_array", None)
+    if depths_fn is not None and wake_steps is not None:
+        return _layer_times_from_arrays(depths_fn(), wake_steps)
+    return _layer_times(network, wake_times)
+
+
 def _record_result_metrics(
     metrics: MetricsRegistry,
     result: BroadcastResult,
@@ -154,6 +191,7 @@ def run_broadcast(
     timings: Timings | None = None,
     spans: SpanRecorder | None = None,
     engine: str = "reference",
+    allow_large: bool = False,
 ) -> BroadcastResult:
     """Execute one broadcast and measure its time.
 
@@ -195,6 +233,10 @@ def run_broadcast(
             :meth:`~repro.sim.protocol.Protocol.quiet_until` hints).
             Both produce bit-identical results; ``"event"`` is much
             faster for adaptive algorithms that implement the hint.
+        allow_large: Skip the up-front memory-estimate guard
+            (:func:`~repro.sim.guard.check_memory_budget`) that refuses
+            FULL traces / dense metrics whose footprint scales past the
+            configured limits.
 
     Returns:
         A :class:`BroadcastResult`.
@@ -212,6 +254,10 @@ def run_broadcast(
         )
     if max_steps is None:
         max_steps = default_max_steps(network, algorithm)
+    check_memory_budget(
+        network.n, max_steps, trace_level,
+        dense_metrics=metrics is not None, allow_large=allow_large,
+    )
     if timings is None and (metrics is not None or spans is not None):
         timings = Timings()
     engine = engine_cls(

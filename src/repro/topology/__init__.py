@@ -1,5 +1,12 @@
 """Topology generators for radio networks."""
 
+from .csr import (
+    CSRNetwork,
+    complete_layered_csr,
+    gnp_random_csr,
+    km_hard_layered_csr,
+    uniform_complete_layered_csr,
+)
 from .generators import (
     binary_tree,
     caterpillar,
@@ -29,17 +36,21 @@ from .layered import (
 )
 
 __all__ = [
+    "CSRNetwork",
     "HardInstanceReport",
     "binary_tree",
     "caterpillar",
     "complete_graph",
     "complete_layered",
+    "complete_layered_csr",
     "directed_complete_layered",
     "cycle",
     "gnp_connected",
+    "gnp_random_csr",
     "grid",
     "hypercube",
     "km_hard_layered",
+    "km_hard_layered_csr",
     "layer_sizes_for",
     "path",
     "random_geometric",
@@ -50,4 +61,5 @@ __all__ = [
     "search_radius2_hard_instance",
     "star",
     "uniform_complete_layered",
+    "uniform_complete_layered_csr",
 ]

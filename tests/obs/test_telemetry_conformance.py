@@ -18,6 +18,7 @@ from repro.obs.spans import SpanRecorder
 from repro.obs.telemetry import TelemetryHub
 from repro.sim import run_broadcast
 from repro.sim.fast import run_broadcast_batch, run_broadcast_fast
+from repro.sim.macro import run_broadcast_macro
 from repro.sweep import ResultCache, SweepSpec, run_sweep
 from repro.topology import gnp_connected, km_hard_layered
 
@@ -52,6 +53,13 @@ def run_engine(engine, net, make_algo, seeds, recorder=None):
     if engine == "fast":
         return [
             run_broadcast_fast(net, make_algo(net), seed=seed, spans=recorder)
+            for seed in seeds
+        ]
+    if engine.startswith("macro"):
+        backend = "numba" if engine == "macro_numba" else "numpy"
+        return [
+            run_broadcast_macro(net, make_algo(net), seed=seed,
+                                spans=recorder, backend=backend)
             for seed in seeds
         ]
     return run_broadcast_batch(

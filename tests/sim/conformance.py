@@ -51,7 +51,9 @@ from repro.core import (
 from repro.obs.metrics import MetricsRegistry
 from repro.sim import FaultPlan, run_broadcast
 from repro.sim.errors import ProtocolViolationError
+from repro.sim._kernels import HAVE_NUMBA
 from repro.sim.fast import run_broadcast_batch, run_broadcast_fast
+from repro.sim.macro import run_broadcast_macro
 from repro.sim.messages import CollisionMarker
 from repro.sim.protocol import BroadcastAlgorithm, Protocol
 from repro.sim.trace import TraceLevel
@@ -241,6 +243,26 @@ def _fast_runner(net, make_algo, seeds, faults=None, max_steps=4000,
     return Outcome(tuple(results), metrics.to_dict() if metrics else None, None)
 
 
+def _macro_runner(backend: str):
+    def run(net, make_algo, seeds, faults=None, max_steps=4000,
+            trace_level=TraceLevel.NONE, collision_detection=False,
+            with_metrics=False) -> Outcome:
+        metrics = MetricsRegistry() if with_metrics else None
+        results = [
+            run_broadcast_macro(
+                net, make_algo(net), seed=seed, faults=faults,
+                max_steps=max_steps, metrics=metrics,
+                trace_level=trace_level, backend=backend, block_size=37,
+            )
+            for seed in seeds
+        ]
+        return Outcome(
+            tuple(results), metrics.to_dict() if metrics else None, None
+        )
+
+    return run
+
+
 def _batch_runner(engine: str):
     def run(net, make_algo, seeds, faults=None, max_steps=4000,
             trace_level=TraceLevel.NONE, collision_detection=False,
@@ -275,6 +297,15 @@ register_engine(EngineSpec(
     adaptive=False, collision_detection=False, metrics=False,
 ))
 register_engine(EngineSpec("batched_event", _batch_runner("batched_event")))
+register_engine(EngineSpec(
+    "macro", _macro_runner("numpy"),
+    adaptive=False, collision_detection=False, metrics=False,
+))
+if HAVE_NUMBA:  # the JIT backend registers only where numba is importable
+    register_engine(EngineSpec(
+        "macro_numba", _macro_runner("numba"),
+        adaptive=False, collision_detection=False, metrics=False,
+    ))
 
 
 def adaptive_engines() -> list[str]:

@@ -1,0 +1,177 @@
+"""Macro-step engine: block-size invariance, backend parity, the memory
+guard, and large-n spot checks against FastEngine.
+
+The full cross-engine matrix (including faults, traces and metrics for
+the instrumented macro path) lives in ``test_conformance.py``; this
+module covers the knobs that matrix holds fixed — the macro-step width
+``K``, the numpy/numba backend split, CSR-native topologies at sizes the
+matrix never visits — plus the :mod:`repro.sim.guard` estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.guard as guard
+from repro.baselines.round_robin import RoundRobinBroadcast
+from repro.core.randomized import KnownRadiusKP, OptimalRandomizedBroadcasting
+from repro.sim import ConfigurationError, TraceLevel, check_memory_budget
+from repro.sim._kernels import HAVE_NUMBA
+from repro.sim.fast import run_broadcast_fast
+from repro.sim.macro import (
+    MacroStepEngine,
+    resolve_macro_backend,
+    run_broadcast_macro,
+)
+from repro.topology import (
+    gnp_random_csr,
+    km_hard_layered,
+    km_hard_layered_csr,
+)
+
+
+def _summary(result):
+    return (result.completed, result.time, result.informed,
+            result.wake_times, result.layer_times)
+
+
+class TestBlockSizeInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        block_size=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=31),
+    )
+    def test_results_never_depend_on_k(self, block_size, seed):
+        net = km_hard_layered_csr(60, 4, seed=3)
+        baseline = run_broadcast_fast(
+            net, KnownRadiusKP(net.r, net.radius), seed=seed
+        )
+        result = run_broadcast_macro(
+            net, KnownRadiusKP(net.r, net.radius), seed=seed,
+            block_size=block_size, backend="numpy",
+        )
+        assert _summary(result) == _summary(baseline)
+
+    def test_partial_runs_report_executed_slots(self):
+        net = gnp_random_csr(200, 10 / 200, seed=1)
+        for budget in (1, 2, 5, 17):
+            fast = run_broadcast_fast(
+                net, KnownRadiusKP(net.r, net.radius), seed=3, max_steps=budget
+            )
+            macro = run_broadcast_macro(
+                net, KnownRadiusKP(net.r, net.radius), seed=3,
+                max_steps=budget, block_size=64,
+            )
+            assert _summary(macro) == _summary(fast)
+
+    def test_rejects_nonpositive_block(self):
+        net = gnp_random_csr(50, 0.2, seed=0)
+        with pytest.raises(ConfigurationError):
+            MacroStepEngine(net, RoundRobinBroadcast(net.r), block_size=0)
+
+
+class TestBackends:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            resolve_macro_backend("cuda")
+
+    def test_env_override_wins_over_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MACRO_BACKEND", "numpy")
+        assert resolve_macro_backend("auto") == "numpy"
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba present: request succeeds")
+    def test_numba_request_without_numba_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            resolve_macro_backend("numba")
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_numba_backend_bit_identical(self, seed):
+        for net in (gnp_random_csr(400, 10 / 400, seed=2),
+                    km_hard_layered_csr(150, 6, seed=1)):
+            for make in (lambda: KnownRadiusKP(net.r, net.radius),
+                         lambda: OptimalRandomizedBroadcasting(net.r),
+                         lambda: RoundRobinBroadcast(net.r)):
+                a = run_broadcast_macro(net, make(), seed=seed,
+                                        backend="numpy", block_size=37)
+                b = run_broadcast_macro(net, make(), seed=seed,
+                                        backend="numba", block_size=37)
+                assert _summary(a) == _summary(b)
+
+
+class TestMemoryGuard:
+    def test_full_trace_over_limit_raises_with_estimate(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            check_memory_budget(10**6, 10**5, TraceLevel.FULL)
+        message = str(excinfo.value)
+        assert "bytes" in message
+        assert "allow_large=True" in message
+        assert "REPRO_ALLOW_LARGE_MEMORY" in message
+
+    def test_none_and_progress_traces_never_trip(self):
+        check_memory_budget(10**7, 10**7, TraceLevel.NONE)
+        check_memory_budget(10**7, 10**7, TraceLevel.PROGRESS)
+
+    def test_allow_large_and_env_override(self, monkeypatch):
+        check_memory_budget(10**6, 10**5, TraceLevel.FULL, allow_large=True)
+        monkeypatch.setenv(guard.ALLOW_LARGE_ENV, "1")
+        check_memory_budget(10**6, 10**5, TraceLevel.FULL)
+        monkeypatch.setenv(guard.ALLOW_LARGE_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            check_memory_budget(10**6, 10**5, TraceLevel.FULL)
+
+    def test_dense_metrics_budget(self):
+        with pytest.raises(ConfigurationError):
+            check_memory_budget(10**6, 100, trials=10**3, dense_metrics=True)
+        check_memory_budget(10**6, 100, trials=10, dense_metrics=True)
+
+    def test_guard_reached_through_drivers(self, monkeypatch):
+        monkeypatch.setattr(guard, "FULL_TRACE_CELL_LIMIT", 10)
+        net = gnp_random_csr(50, 0.2, seed=0)
+        algo = KnownRadiusKP(net.r, net.radius)
+        with pytest.raises(ConfigurationError):
+            run_broadcast_fast(net, algo, trace_level=TraceLevel.FULL)
+        with pytest.raises(ConfigurationError):
+            run_broadcast_macro(net, algo, trace_level=TraceLevel.FULL)
+        # the documented escape hatch actually runs
+        result = run_broadcast_macro(
+            net, algo, trace_level=TraceLevel.FULL, allow_large=True
+        )
+        assert result.completed
+
+
+class TestLargeNSpotChecks:
+    """Slot-for-slot identity at sizes the conformance matrix never
+    visits.  ``max_steps`` is capped so the FastEngine side stays cheap;
+    partial-run identity is the same property, checked on a prefix."""
+
+    def test_gnp_50k_identity(self):
+        n = 50_000
+        net = gnp_random_csr(n, 8 / n, seed=13)
+        algo = KnownRadiusKP(net.r, net.radius)
+        budget = 120
+        fast = run_broadcast_fast(net, KnownRadiusKP(net.r, net.radius),
+                                  seed=7, max_steps=budget)
+        macro = run_broadcast_macro(net, algo, seed=7, max_steps=budget,
+                                    block_size=64)
+        assert _summary(macro) == _summary(fast)
+
+    def test_layered_50k_identity(self):
+        net = km_hard_layered_csr(50_000, 12, seed=5)
+        budget = 200
+        fast = run_broadcast_fast(net, KnownRadiusKP(net.r, net.radius),
+                                  seed=2, max_steps=budget)
+        macro = run_broadcast_macro(net, KnownRadiusKP(net.r, net.radius),
+                                    seed=2, max_steps=budget, block_size=128)
+        assert _summary(macro) == _summary(fast)
+
+    def test_legacy_network_also_supported(self):
+        # The macro engine is not CSR-only: dict-of-sets topologies run
+        # through the same ChannelKernel compilation.
+        net = km_hard_layered(2_000, 8, seed=9)
+        fast = run_broadcast_fast(net, KnownRadiusKP(net.r, 8), seed=1)
+        macro = run_broadcast_macro(net, KnownRadiusKP(net.r, 8), seed=1)
+        assert _summary(macro) == _summary(fast)

@@ -1,0 +1,137 @@
+"""CSR-native topology generation: structure, determinism, and exact
+equivalence with the legacy (dict-of-sets) layered builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import ChannelKernel
+from repro.sim.errors import ConfigurationError
+from repro.sim.fast import run_broadcast_fast
+from repro.core.randomized import KnownRadiusKP
+from repro.topology import (
+    CSRNetwork,
+    complete_layered,
+    complete_layered_csr,
+    gnp_random_csr,
+    km_hard_layered,
+    km_hard_layered_csr,
+    uniform_complete_layered,
+    uniform_complete_layered_csr,
+)
+
+
+def _edge_set(net) -> set[tuple[int, int]]:
+    """Undirected edge set of any network exposing ``out_neighbors``."""
+    return {
+        (min(u, v), max(u, v))
+        for u, nbrs in net.out_neighbors.items()
+        for v in nbrs
+    }
+
+
+def _csr_edge_set(net: CSRNetwork) -> set[tuple[int, int]]:
+    indptr, indices = net.csr_arrays()
+    src = np.repeat(np.arange(net.n), np.diff(indptr))
+    return {(min(u, v), max(u, v)) for u, v in zip(src.tolist(), indices.tolist())}
+
+
+class TestCSRNetworkStructure:
+    def test_gnp_is_simple_symmetric_and_connected(self):
+        net = gnp_random_csr(800, 9 / 800, seed=4)
+        indptr, indices = net.csr_arrays()
+        src = np.repeat(np.arange(net.n), np.diff(indptr))
+        assert not np.any(src == indices), "self-loops"
+        pairs = set(zip(src.tolist(), indices.tolist()))
+        assert len(pairs) == len(indices), "duplicate edges"
+        assert all((v, u) in pairs for u, v in pairs), "asymmetric edge"
+        # rows sorted (CSR canonical form, required by the kernels)
+        for i in (0, 1, net.n // 2, net.n - 1):
+            row = indices[indptr[i]:indptr[i + 1]]
+            assert np.all(np.diff(row) > 0)
+        depths = net.depths_array()
+        assert depths[0] == 0 and np.all(depths >= 0), "disconnected node"
+
+    def test_gnp_deterministic_per_seed(self):
+        a = gnp_random_csr(300, 10 / 300, seed=9)
+        b = gnp_random_csr(300, 10 / 300, seed=9)
+        c = gnp_random_csr(300, 10 / 300, seed=10)
+        assert np.array_equal(a.csr_arrays()[1], b.csr_arrays()[1])
+        assert not np.array_equal(a.csr_arrays()[1], c.csr_arrays()[1])
+
+    def test_gnp_density_tracks_p(self):
+        n, p = 2000, 8 / 2000
+        net = gnp_random_csr(n, p, seed=0)
+        expected = p * n * (n - 1) / 2
+        assert 0.7 * expected < net.num_edges < 1.4 * expected
+
+    def test_sparse_gnp_augmented_to_connected(self):
+        # Far below the connectivity threshold: augmentation must kick in
+        # and still yield one component with every edge symmetric.
+        net = gnp_random_csr(500, 1.5 / 500, seed=2)
+        assert np.all(net.depths_array() >= 0)
+        pairs = _csr_edge_set(net)
+        assert len(pairs) >= net.n - 1
+
+    def test_resample_mode_raises_when_hopeless(self):
+        with pytest.raises(ConfigurationError):
+            gnp_random_csr(400, 0.5 / 400, seed=0, connect="resample",
+                           max_attempts=3)
+
+    def test_layers_and_radius_match_bfs(self):
+        net = gnp_random_csr(400, 10 / 400, seed=1)
+        depths = net.depths_array()
+        assert net.radius == int(depths.max())
+        for d, layer in enumerate(net.layers()):
+            assert sorted(layer) == np.flatnonzero(depths == d).tolist()
+
+
+class TestLegacyEquivalence:
+    """The CSR builders reproduce the legacy generators edge for edge."""
+
+    def test_km_hard_layered_exact(self):
+        for n, depth, seed in [(60, 4, 0), (97, 6, 3), (200, 8, 11)]:
+            legacy = km_hard_layered(n, depth, seed=seed)
+            csr = km_hard_layered_csr(n, depth, seed=seed)
+            assert csr.n == legacy.n and csr.r == legacy.r
+            assert _csr_edge_set(csr) == _edge_set(legacy)
+
+    def test_uniform_complete_layered_exact(self):
+        for n, depth, relabel in [(50, 5, None), (80, 4, 7)]:
+            legacy = uniform_complete_layered(n, depth, relabel_seed=relabel)
+            csr = uniform_complete_layered_csr(n, depth, relabel_seed=relabel)
+            assert _csr_edge_set(csr) == _edge_set(legacy)
+
+    def test_complete_layered_exact(self):
+        legacy = complete_layered([1, 4, 9, 2], relabel_seed=13)
+        csr = complete_layered_csr([1, 4, 9, 2], relabel_seed=13)
+        assert _csr_edge_set(csr) == _edge_set(legacy)
+
+    def test_to_radio_network_round_trip(self):
+        csr = km_hard_layered_csr(80, 5, seed=1)
+        net = csr.to_radio_network()
+        assert _edge_set(net) == _csr_edge_set(csr)
+        assert net.r == csr.r and net.source == 0
+
+
+class TestEngineAdoption:
+    def test_channel_kernel_adopts_csr_zero_copy(self):
+        net = gnp_random_csr(200, 12 / 200, seed=5)
+        kernel = ChannelKernel(net)
+        indptr, indices = net.csr_arrays()
+        assert kernel.indptr is indptr and kernel.indices is indices
+        assert kernel.index[7] == 7 and kernel.index.get(net.n) is None
+        with pytest.raises(KeyError):
+            kernel.index[net.n]
+
+    def test_fast_engine_identical_on_csr_and_converted(self):
+        csr = km_hard_layered_csr(90, 5, seed=4)
+        legacy = csr.to_radio_network()
+        for seed in (0, 1):
+            a = run_broadcast_fast(csr, KnownRadiusKP(csr.r, csr.radius),
+                                   seed=seed)
+            b = run_broadcast_fast(legacy, KnownRadiusKP(legacy.r, csr.radius),
+                                   seed=seed)
+            assert a.wake_times == b.wake_times
+            assert a.time == b.time and a.layer_times == b.layer_times
